@@ -1,0 +1,55 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures end to end
+(workload generation excluded — memoized — but both simulation passes
+included).  Experiments are macro-scale, so every target runs exactly once
+per session (``rounds=1``) via the ``run_once`` helper; pytest-benchmark
+still records wall time, and every target asserts its table's shape so a
+benchmark run doubles as an integration check.
+
+Budget knobs: REPRO_BENCH_INSTRUCTIONS / REPRO_BENCH_WARMUP environment
+variables override the defaults (40k/8k — small enough for CI, large
+enough for stable orderings).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import clear_cache, default_settings
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 40_000))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", 8_000))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return default_settings(instructions=BENCH_INSTRUCTIONS,
+                            warmup=BENCH_WARMUP)
+
+
+@pytest.fixture(scope="session")
+def small_settings():
+    """Reduced budget for the heavyweight sweeps (Tables 6/7, Figure 6)."""
+    return default_settings(instructions=max(BENCH_INSTRUCTIONS // 2, 8_000),
+                            warmup=max(BENCH_WARMUP // 2, 2_000))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolate_cache():
+    clear_cache()
+    yield
+    clear_cache()

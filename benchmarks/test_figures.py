@@ -1,0 +1,36 @@
+"""Benchmarks regenerating the paper's figures (4-6)."""
+
+from repro.config import CacheAddressing
+from repro.experiments import fig4, fig5, fig6
+
+
+def test_fig4_vipt_energy(run_once, settings):
+    result = run_once(fig4.run_for, CacheAddressing.VIPT, settings)
+    avg = result.row_for("benchmark", "average")
+    # the headline: IA saves >85% of base iTLB energy under VI-PT
+    assert avg["ia"] < 15.0
+    assert avg["opt"] <= avg["ia"]
+    assert avg["sola"] <= avg["soca"]
+
+
+def test_fig4_vivt_energy(run_once, settings):
+    result = run_once(fig4.run_for, CacheAddressing.VIVT, settings)
+    avg = result.row_for("benchmark", "average")
+    for scheme in ("hoa", "soca", "sola", "ia", "opt"):
+        assert avg[scheme] < 100.0
+    assert avg["opt"] <= avg["soca"]
+
+
+def test_fig5_vivt_cycles(run_once, settings):
+    result = run_once(fig5.run, settings)
+    avg = result.row_for("benchmark", "average")
+    assert avg["ia"] <= 100.2
+    assert abs(avg["vi-pt ia (check)"] - 100.0) < 1.0
+
+
+def test_fig6_two_level_itlb(run_once, small_settings):
+    result = run_once(fig6.run, small_settings)
+    for row in result.rows:
+        if row["benchmark"] == "average" and row["mode"] == "serial":
+            assert row["energy % of mono-IA"] > 110.0
+            assert row["cycles % of mono-IA"] >= 99.0

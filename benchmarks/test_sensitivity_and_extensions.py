@@ -1,0 +1,80 @@
+"""Benchmarks for the Section 4.4 sensitivity sweeps, the future-work
+extensions, the engine cross-validation, and raw engine throughput."""
+
+from repro.config import CacheAddressing, SchemeName, default_config
+from repro.cpu.fast import FastEngine
+from repro.cpu.ooo import OutOfOrderEngine
+from repro.experiments import extensions, sensitivity, validation
+from repro.experiments.common import default_settings
+from repro.workloads.spec2000 import load_benchmark
+
+
+def test_sensitivity_il1(run_once, small_settings):
+    result = run_once(sensitivity.run_il1, small_settings)
+    assert len(result.rows) > 0
+
+
+def test_sensitivity_page_size(run_once, small_settings):
+    result = run_once(sensitivity.run_page_size, small_settings)
+    pages = [r for r in result.rows if r["benchmark"] == "mesa"]
+    assert pages[0]["page crossings/kinst"] \
+        >= pages[-1]["page crossings/kinst"]
+
+
+def test_extension_dcfr(run_once, small_settings):
+    result = run_once(extensions.run_dcfr, small_settings)
+    for row in result.rows:
+        assert 0 <= row["register hit %"] <= 100
+
+
+def test_extension_layout(run_once, small_settings):
+    result = run_once(extensions.run_layout, small_settings)
+    assert len(result.rows) % 2 == 0
+
+
+def test_extension_predictors(run_once, small_settings):
+    result = run_once(extensions.run_predictors, small_settings)
+    assert any(row["predictor"].startswith("gshare")
+               for row in result.rows)
+
+
+def test_extension_accounting(run_once, small_settings):
+    result = run_once(extensions.run_accounting, small_settings)
+    for row in result.rows:
+        assert row["full accounting %"] >= row["paper accounting %"]
+
+
+def test_engine_validation(run_once):
+    settings = default_settings(instructions=16_000, warmup=4_000)
+    result = run_once(validation.run, settings)
+    for row in result.rows:
+        assert 0.6 < row["cycle ratio"] < 1.5
+        assert 0.5 < row["lookup ratio"] <= 1.2
+
+
+def test_throughput_fast_engine(benchmark):
+    """Raw simulation speed of the multi-scheme fast engine
+    (instructions per second is the interesting figure)."""
+    workload = load_benchmark("177.mesa")
+    config = default_config(CacheAddressing.VIPT)
+
+    def run():
+        engine = FastEngine(workload.link(), config)
+        return engine.run(20_000, warmup=2_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.shared.useful_instructions == 20_000
+
+
+def test_throughput_ooo_engine(benchmark):
+    """Raw simulation speed of the detailed out-of-order engine."""
+    workload = load_benchmark("177.mesa")
+    config = default_config(CacheAddressing.VIPT)
+
+    def run():
+        engine = OutOfOrderEngine(workload.link(), config,
+                                  scheme=SchemeName.BASE)
+        return engine.run(6_000, warmup=1_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.shared.useful_instructions >= 6_000

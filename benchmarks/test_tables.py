@@ -1,0 +1,72 @@
+"""Benchmarks regenerating the paper's tables (2-8).
+
+Run with: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from repro.config import SchemeName
+from repro.experiments import (
+    configuration,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+
+def test_table1_configuration(run_once):
+    result = run_once(configuration.run)
+    assert all(row["matches paper"] == "yes" for row in result.rows)
+
+
+def test_table2_benchmark_characteristics(run_once, settings):
+    result = run_once(table2.run, settings)
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert row["iTLB E VI-VT (mJ)"] < row["iTLB E VI-PT (mJ)"]
+
+
+def test_table3_lookup_breakdown(run_once, settings):
+    result = run_once(table3.run, settings)
+    for row in result.rows:
+        soca = row["soca BOUNDARY"] + row["soca BRANCH"]
+        sola = row["sola BOUNDARY"] + row["sola BRANCH"]
+        ia = row["ia BOUNDARY"] + row["ia BRANCH"]
+        assert soca >= sola and soca >= ia
+
+
+def test_table4_branch_statistics(run_once, settings):
+    result = run_once(table4.run, settings)
+    for row in result.rows:
+        assert 0 < row["dyn analyzable %"] <= 100
+
+
+def test_table5_predictor_accuracy(run_once, settings):
+    result = run_once(table5.run, settings)
+    for row in result.rows:
+        assert 75 < row["accuracy %"] < 100
+
+
+def test_table6_itlb_sweep(run_once, small_settings):
+    result = run_once(table6.run, small_settings)
+    # savings must improve from the 1-entry to the 32-entry iTLB
+    for bench in {row["benchmark"] for row in result.rows}:
+        rows = {r["iTLB"]: r for r in result.rows
+                if r["benchmark"] == bench}
+        assert rows["32,FA"]["E vipt ia %"] <= rows["1"]["E vipt ia %"] + 1.0
+
+
+def test_table7_ia_cycles_sweep(run_once, small_settings):
+    result = run_once(table7.run, small_settings)
+    for row in result.rows:
+        assert row["C 1 (M)"] >= row["C 32,FA (M)"]
+
+
+def test_table8_pipt_rehabilitation(run_once, small_settings):
+    result = run_once(table8.run, small_settings)
+    for row in result.rows:
+        assert row["C pipt"] > row["C vipt"]
+        assert row["C pipt+ia"] < row["C pipt"]
+        assert row["E pipt+ia"] < 0.2 * row["E pipt"]

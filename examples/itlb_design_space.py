@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space walk: pick an iTLB for a low-power embedded core.
+
+The paper's Section 4.3 argument, replayed as a design exercise: sweep
+monolithic iTLB sizes and the two-level organizations, with and without
+the IA scheme, and print the energy/performance frontier.  The punchline
+— a large iTLB *with IA* gives the performance of the large iTLB at less
+energy than the tiny one — falls out of the table.
+
+    python examples/itlb_design_space.py
+"""
+
+from repro import (
+    ITLB_SWEEP,
+    SchemeName,
+    TWO_LEVEL_MONOLITHIC_BASELINES,
+    TWO_LEVEL_SWEEP,
+    default_config,
+    itlb_sweep_label,
+    load_benchmark,
+    run_all_schemes,
+)
+
+BENCH = "255.vortex"  # the suite's worst instruction locality
+INSTRUCTIONS = 50_000
+WARMUP = 10_000
+
+
+def evaluate(config, label):
+    run = run_all_schemes(load_benchmark(BENCH), config,
+                          instructions=INSTRUCTIONS, warmup=WARMUP,
+                          schemes=(SchemeName.BASE, SchemeName.IA))
+    base = run.scheme(SchemeName.BASE)
+    ia = run.scheme(SchemeName.IA)
+    print(f"{label:<22} "
+          f"base: {base.energy.total_mj * 1e3:8.3f} uJ {base.cycles:>10,} cyc   "
+          f"IA: {ia.energy.total_mj * 1e3:8.3f} uJ {ia.cycles:>10,} cyc")
+    return base, ia
+
+
+def main() -> None:
+    print(f"iTLB design space on {BENCH} (VI-PT iL1, "
+          f"{INSTRUCTIONS:,} instructions)\n")
+    print("-- monolithic --")
+    for itlb in ITLB_SWEEP:
+        evaluate(default_config().with_itlb(itlb),
+                 f"mono {itlb_sweep_label(itlb)}")
+    print("\n-- two-level (base only makes sense without a CFR) --")
+    for two_level, mono in zip(TWO_LEVEL_SWEEP,
+                               TWO_LEVEL_MONOLITHIC_BASELINES):
+        cfg = default_config().with_itlb(mono).with_two_level_itlb(two_level)
+        label = (f"2-level {two_level.level1.entries}"
+                 f"+{two_level.level2.entries}")
+        evaluate(cfg, label)
+    print("\nReading: the 32-entry monolithic iTLB *with IA* beats both "
+          "the 1-entry\nmonolithic and the two-level organizations on "
+          "energy while keeping the\nlarge-iTLB cycle count — the paper's "
+          "Section 4.3 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate every iTLB scheme on one benchmark.
+
+Reproduces the paper's core comparison (Figure 4, one benchmark) in a few
+lines: run Base/HoA/SoCA/SoLA/IA/OPT over 177.mesa with the default
+(Table 1) machine and print normalized energy and cycles.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CacheAddressing,
+    SchemeName,
+    default_config,
+    load_benchmark,
+    run_all_schemes,
+)
+
+INSTRUCTIONS = 60_000
+WARMUP = 12_000
+
+
+def main() -> None:
+    workload = load_benchmark("177.mesa")
+
+    for addressing in (CacheAddressing.VIPT, CacheAddressing.VIVT):
+        config = default_config(addressing)
+        run = run_all_schemes(workload, config,
+                              instructions=INSTRUCTIONS, warmup=WARMUP)
+        shared = run.shared
+        print(f"\n=== {workload.profile.name}, {addressing.value} iL1 ===")
+        print(f"instructions {shared.instructions:,}  "
+              f"branches {100 * shared.branch_fraction:.1f}%  "
+              f"iL1 miss rate {shared.il1.miss_rate:.4f}  "
+              f"page crossings {shared.page_crossings:,}")
+        print(f"{'scheme':<6} {'lookups':>10} {'energy % of base':>17} "
+              f"{'cycles % of base':>17}")
+        for scheme in SchemeName:
+            result = run.scheme(scheme)
+            print(f"{scheme.value:<6} {result.lookups:>10,} "
+                  f"{100 * run.normalized_energy(scheme):>16.2f} "
+                  f"{100 * run.normalized_cycles(scheme):>16.2f}")
+
+    print("\nThe paper's headline: the IA row sits below 15% energy under "
+          "VI-PT\n(>85% of iTLB dynamic energy eliminated) at no cycle cost.")
+
+
+if __name__ == "__main__":
+    main()

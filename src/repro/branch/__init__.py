@@ -1,0 +1,33 @@
+"""Branch prediction substrate.
+
+The paper's default machine (Table 1) uses a 4-state bimodal predictor and
+a 1024-entry 2-way BTB with a 7-cycle misprediction penalty; the IA scheme
+(Section 3.3.4, Figure 2) taps the BTB's predicted target to decide whether
+an iTLB lookup is needed.  A gshare predictor and a return-address stack
+are included as extensions (the paper notes IA would approach OPT further
+with a better predictor — the extensions experiment quantifies that).
+"""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.btb import BTB
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.predictor import (
+    BranchOutcome,
+    FrontEndPredictor,
+    Prediction,
+    PredictorStats,
+    build_predictor,
+)
+
+__all__ = [
+    "BTB",
+    "BimodalPredictor",
+    "BranchOutcome",
+    "FrontEndPredictor",
+    "GsharePredictor",
+    "Prediction",
+    "PredictorStats",
+    "ReturnAddressStack",
+    "build_predictor",
+]

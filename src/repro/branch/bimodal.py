@@ -1,0 +1,48 @@
+"""Bimodal direction predictor ("Bimodal with 4 states", paper Table 1).
+
+A table of saturating counters indexed by low PC bits.  With the default
+2-bit counters each entry walks the classic 4-state diagram:
+strongly-not-taken (0) .. strongly-taken (3), predicting taken when the
+counter is in the upper half.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BimodalPredictor:
+    """Saturating-counter direction predictor."""
+
+    def __init__(self, table_entries: int = 2048, counter_bits: int = 2) -> None:
+        if table_entries & (table_entries - 1):
+            raise ValueError("bimodal table size must be a power of two")
+        self.table_entries = table_entries
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.taken_threshold = 1 << (counter_bits - 1)
+        # weakly-not-taken initial state, as in SimpleScalar
+        initial = self.taken_threshold - 1
+        self._table: List[int] = [initial] * table_entries
+        self._mask = table_entries - 1
+
+    def index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+        return self._table[self.index(pc)] >= self.taken_threshold
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction."""
+        i = self.index(pc)
+        counter = self._table[i]
+        if taken:
+            if counter < self.counter_max:
+                self._table[i] = counter + 1
+        elif counter > 0:
+            self._table[i] = counter - 1
+
+    def counter(self, pc: int) -> int:
+        """Raw counter value (for tests/diagnostics)."""
+        return self._table[self.index(pc)]

@@ -1,0 +1,71 @@
+"""Branch target buffer (paper Table 1: 1024 entries, 2-way).
+
+The BTB maps a branch PC to its most recent taken target.  Figure 2 of the
+paper wires the BTB output into the CFR comparison: the page-number bits of
+the predicted target are compared against the CFR's VPN to decide whether
+the iTLB must be consulted for the target fetch.  :meth:`lookup` therefore
+returns the raw predicted target so the IA scheme can do exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class BTBStats:
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BTB:
+    """Set-associative LRU branch target buffer, tagged by full PC."""
+
+    def __init__(self, entries: int = 1024, assoc: int = 2) -> None:
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        if entries % assoc:
+            raise ValueError("BTB entries must be a multiple of associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self._set_mask = self.num_sets - 1
+        self._sets: List[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = BTBStats()
+
+    def _set_for(self, pc: int) -> OrderedDict[int, int]:
+        return self._sets[(pc >> 2) & self._set_mask]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted taken-target for the branch at ``pc`` (None: BTB miss)."""
+        self.stats.lookups += 1
+        entry_set = self._set_for(pc)
+        target = entry_set.get(pc)
+        if target is not None:
+            self.stats.hits += 1
+            entry_set.move_to_end(pc)
+        return target
+
+    def probe(self, pc: int) -> Optional[int]:
+        """Content check without stats/LRU side effects."""
+        return self._set_for(pc).get(pc)
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved taken-target (allocate-on-taken policy)."""
+        entry_set = self._set_for(pc)
+        if pc not in entry_set and len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[pc] = target
+        entry_set.move_to_end(pc)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,193 @@
+"""Front-end predictor: direction predictor + BTB (+ optional RAS).
+
+This is the structure Figure 2 of the paper integrates the CFR with: the
+BTB is looked up with the branch PC while the branch itself is being
+fetched; on a hit, the predicted target is available one cycle later and
+its page-number bits can be compared with the CFR's VPN.
+
+Prediction discipline (BTB-driven fetch, as in SimpleScalar):
+
+* conditional branches: direction from the bimodal/gshare table; fetch can
+  only follow a predicted-taken branch if the BTB supplies the target, so a
+  BTB miss degrades the effective prediction to not-taken;
+* direct unconditional jumps/calls: follow the BTB target on a hit; a BTB
+  miss costs a redirect (counted as a misprediction);
+* indirect jumps/calls: BTB target (or RAS for returns when enabled);
+  always taken, mispredicted when the target is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import BranchPredictorConfig
+from repro.errors import ConfigError
+from repro.isa.instructions import Instruction, InstrKind
+from repro.isa.registers import REG_RA
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BTB
+from repro.branch.gshare import GsharePredictor
+from repro.branch.ras import ReturnAddressStack
+
+
+@dataclass
+class Prediction:
+    """What the front end believed when the branch was fetched."""
+
+    predicted_taken: bool
+    predicted_target: Optional[int]  #: None when not predicted taken
+    btb_hit: bool
+    from_ras: bool = False
+
+
+@dataclass
+class BranchOutcome:
+    """A resolved branch: prediction vs. architectural truth.  This is the
+    record the IA scheme consumes (paper Figure 3)."""
+
+    pc: int
+    instr: Instruction
+    prediction: Prediction
+    taken: bool
+    next_pc: int  #: resolved successor (taken target or fall-through)
+    mispredicted: bool
+
+    @property
+    def path_diverged(self) -> bool:
+        """Did fetch actually follow a wrong path?  False for the
+        degenerate direction-mispredict of a branch whose taken target is
+        its own fall-through — the predictor was wrong but the fetched
+        instructions are right, so no flush/penalty occurs."""
+        if self.prediction.predicted_taken:
+            predicted_next = self.prediction.predicted_target
+        else:
+            predicted_next = self.pc + 4
+        return predicted_next != self.next_pc
+
+
+@dataclass
+class PredictorStats:
+    """Aggregate accuracy accounting (Table 5)."""
+
+    branches: int = 0
+    mispredicts: int = 0
+    conditional: int = 0
+    conditional_mispredicts: int = 0
+    indirect: int = 0
+    indirect_mispredicts: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branches
+
+    def reset(self) -> None:
+        self.branches = 0
+        self.mispredicts = 0
+        self.conditional = 0
+        self.conditional_mispredicts = 0
+        self.indirect = 0
+        self.indirect_mispredicts = 0
+
+
+class FrontEndPredictor:
+    """Direction predictor + BTB + optional RAS, with split
+    predict/train so both the in-order fast engine and the speculative OoO
+    engine can drive it."""
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        if config.kind == "bimodal":
+            self.direction = BimodalPredictor(config.table_entries,
+                                              config.counter_bits)
+        elif config.kind == "gshare":
+            self.direction = GsharePredictor(config.table_entries,
+                                             config.counter_bits,
+                                             config.history_bits)
+        elif config.kind in ("taken", "nottaken"):
+            self.direction = None
+        else:  # pragma: no cover - guarded by config validation
+            raise ConfigError(f"unknown predictor kind {config.kind}")
+        self._static_taken = config.kind == "taken"
+        self.btb = BTB(config.btb_entries, config.btb_assoc)
+        self.ras = (ReturnAddressStack(config.ras_entries)
+                    if config.ras_entries else None)
+        self.stats = PredictorStats()
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, pc: int, instr: Instruction) -> Prediction:
+        """Predict the branch at ``pc`` without training anything."""
+        kind = instr.op.kind
+        if kind is InstrKind.COND_BRANCH:
+            if self.direction is None:
+                direction = self._static_taken
+            else:
+                direction = self.direction.predict(pc)
+            target = self.btb.lookup(pc)
+            if direction and target is not None:
+                return Prediction(True, target, btb_hit=True)
+            return Prediction(False, None, btb_hit=target is not None)
+        if kind in (InstrKind.JUMP, InstrKind.CALL):
+            target = self.btb.lookup(pc)
+            if target is not None:
+                return Prediction(True, target, btb_hit=True)
+            return Prediction(False, None, btb_hit=False)
+        # indirect
+        if (self.ras is not None and kind is InstrKind.INDIRECT_JUMP
+                and instr.rs == REG_RA):
+            ras_target = self.ras.peek()
+            if ras_target is not None:
+                return Prediction(True, ras_target, btb_hit=False,
+                                  from_ras=True)
+        target = self.btb.lookup(pc)
+        if target is not None:
+            return Prediction(True, target, btb_hit=True)
+        return Prediction(False, None, btb_hit=False)
+
+    # -- training --------------------------------------------------------------
+
+    def train(self, pc: int, instr: Instruction, prediction: Prediction,
+              taken: bool, next_pc: int) -> BranchOutcome:
+        """Resolve the branch: update tables, return the outcome record."""
+        kind = instr.op.kind
+        mispredicted = prediction.predicted_taken != taken or (
+            taken and prediction.predicted_target is not None
+            and prediction.predicted_target != next_pc
+        )
+        self.stats.branches += 1
+        if mispredicted:
+            self.stats.mispredicts += 1
+        if kind is InstrKind.COND_BRANCH:
+            self.stats.conditional += 1
+            if mispredicted:
+                self.stats.conditional_mispredicts += 1
+            if self.direction is not None:
+                self.direction.update(pc, taken)
+        elif kind in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
+            self.stats.indirect += 1
+            if mispredicted:
+                self.stats.indirect_mispredicts += 1
+        if taken:
+            self.btb.update(pc, next_pc)
+        if self.ras is not None:
+            if kind in (InstrKind.CALL, InstrKind.INDIRECT_CALL):
+                self.ras.push(pc + 4)
+            elif kind is InstrKind.INDIRECT_JUMP and instr.rs == REG_RA:
+                self.ras.pop()
+        return BranchOutcome(pc=pc, instr=instr, prediction=prediction,
+                             taken=taken, next_pc=next_pc,
+                             mispredicted=mispredicted)
+
+    def observe(self, pc: int, instr: Instruction, taken: bool,
+                next_pc: int) -> BranchOutcome:
+        """Predict-then-train in one step (in-order engines)."""
+        prediction = self.predict(pc, instr)
+        return self.train(pc, instr, prediction, taken, next_pc)
+
+
+def build_predictor(config: BranchPredictorConfig) -> FrontEndPredictor:
+    """Factory mirroring :func:`repro.vm.tlb.build_itlb`."""
+    return FrontEndPredictor(config)

@@ -1,0 +1,48 @@
+"""Return address stack (extension; disabled in the paper's configuration).
+
+JR-through-`ra` returns are the dominant unanalyzable, hard-to-predict
+control flow in call-heavy code.  A RAS predicts them near-perfectly, which
+(a) raises overall predictor accuracy and (b) tightens IA's bound to OPT.
+The extensions experiment enables it via
+``BranchPredictorConfig(ras_entries=N)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("RAS needs at least one entry")
+        self.entries = entries
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        self.pushes += 1
+        if len(self._stack) >= self.entries:
+            # circular: oldest entry is lost
+            self.overflows += 1
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,104 @@
+"""Command-line interface: ``repro-itlb`` / ``python -m repro``.
+
+Subcommands:
+
+* ``report``       — run every experiment and write EXPERIMENTS.md
+* ``experiment``   — run one experiment and print its table
+* ``calibrate``    — print the workload-calibration report
+* ``config``       — print the default (Table 1) machine
+* ``simulate``     — one benchmark, all schemes, summary output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import CacheAddressing, default_config
+from repro.experiments.common import default_settings
+from repro.experiments.report import (
+    ALL_EXPERIMENTS,
+    EXPERIMENT_BY_NAME,
+    write_experiments_md,
+)
+from repro.cpu.results import summarize_result
+from repro.sim.multi import run_all_schemes
+from repro.workloads.calibration import calibration_report
+from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int, default=120_000,
+                        help="useful instructions to measure per pass")
+    parser.add_argument("--warmup", type=int, default=20_000,
+                        help="warmup instructions before measurement")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        choices=list(BENCHMARK_NAMES),
+                        help="subset of benchmarks (default: all six)")
+
+
+def _settings(args: argparse.Namespace):
+    return default_settings(instructions=args.instructions,
+                            warmup=args.warmup,
+                            benchmarks=args.benchmarks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-itlb",
+        description="Reproduction of Kadayif et al., MICRO 2002 "
+                    "(iTLB energy via direct physical-address generation)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    _add_sim_args(p_report)
+    p_report.add_argument("--output", default="EXPERIMENTS.md")
+
+    p_exp = sub.add_parser("experiment", help="run a single experiment")
+    p_exp.add_argument("name", choices=[n for n, _ in ALL_EXPERIMENTS])
+    _add_sim_args(p_exp)
+
+    p_cal = sub.add_parser("calibrate",
+                           help="workload calibration vs paper targets")
+    _add_sim_args(p_cal)
+
+    sub.add_parser("config", help="print the Table 1 machine")
+
+    p_sim = sub.add_parser("simulate", help="simulate one benchmark")
+    p_sim.add_argument("benchmark", choices=list(BENCHMARK_NAMES))
+    p_sim.add_argument("--il1", default="vi-pt",
+                       choices=[a.value for a in CacheAddressing])
+    _add_sim_args(p_sim)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        write_experiments_md(args.output, _settings(args))
+        return 0
+    if args.command == "experiment":
+        result = EXPERIMENT_BY_NAME[args.name](_settings(args))
+        print(result.render())
+        return 0
+    if args.command == "calibrate":
+        print(calibration_report(instructions=args.instructions,
+                                 warmup=args.warmup))
+        return 0
+    if args.command == "config":
+        print(default_config().describe())
+        return 0
+    if args.command == "simulate":
+        config = default_config(CacheAddressing(args.il1))
+        settings = _settings(args)
+        run = run_all_schemes(load_benchmark(args.benchmark), config,
+                              instructions=settings.instructions,
+                              warmup=settings.warmup)
+        print(summarize_result(run.plain))
+        print()
+        print(summarize_result(run.instrumented))
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: CFR-based iTLB access elimination.
+
+This package implements the Current Frame Register (Section 3.1) and the
+iTLB access policies evaluated by the paper (Section 3.3):
+
+* :class:`~repro.core.schemes.BasePolicy` — unoptimized reference,
+* :class:`~repro.core.schemes.HoAPolicy` — hardware-only (per-fetch VPN
+  comparator),
+* :class:`~repro.core.schemes.SoCAPolicy` — software-only conservative,
+* :class:`~repro.core.schemes.SoLAPolicy` — software-only less
+  conservative (in-page bit),
+* :class:`~repro.core.schemes.IAPolicy` — integrated hardware/software
+  (BTB-target page check, Figure 2/3),
+* :class:`~repro.core.schemes.OptPolicy` — oracle lower bound,
+
+plus the data-side CFR extension (:mod:`repro.core.dcfr`) the paper's
+concluding remarks propose as future work.
+"""
+
+from repro.core.cfr import CFR
+from repro.core.schemes import (
+    LookupReason,
+    ITLBPolicy,
+    BasePolicy,
+    HoAPolicy,
+    IAPolicy,
+    OptPolicy,
+    SchemeCounters,
+    SoCAPolicy,
+    SoLAPolicy,
+    build_policy,
+    build_all_policies,
+)
+from repro.core.dcfr import DataCFR
+
+__all__ = [
+    "BasePolicy",
+    "CFR",
+    "DataCFR",
+    "HoAPolicy",
+    "IAPolicy",
+    "ITLBPolicy",
+    "LookupReason",
+    "OptPolicy",
+    "SchemeCounters",
+    "SoCAPolicy",
+    "SoLAPolicy",
+    "build_all_policies",
+    "build_policy",
+]

@@ -1,0 +1,124 @@
+"""Result records produced by the engines.
+
+One engine pass over one (program, machine config) pair yields an
+:class:`EngineResult`: shared microarchitectural statistics (caches,
+predictor, dTLB — identical for every scheme, as the paper notes the
+schemes never change iL1/L2 behaviour) plus one :class:`SchemeResult` per
+evaluated iTLB policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import CacheAddressing, MachineConfig, SchemeName
+from repro.core.schemes import SchemeCounters
+from repro.energy.accounting import EnergyBreakdown
+from repro.mem.cache import CacheStats
+from repro.branch.predictor import PredictorStats
+from repro.vm.tlb import TLBStats
+
+
+@dataclass
+class SharedStats:
+    """Scheme-independent statistics of one pass."""
+
+    instructions: int = 0  #: retired instructions, boundary branches included
+    useful_instructions: int = 0  #: excluding compiler boundary branches
+    boundary_instructions: int = 0
+    fetch_groups: int = 0
+    base_cycles: int = 0  #: pipeline cycles before scheme-specific stalls
+    dynamic_branches: int = 0
+    taken_branches: int = 0
+    #: actual page transitions of the fetch stream, split as in Table 2
+    page_crossings_branch: int = 0
+    page_crossings_boundary: int = 0
+    loads: int = 0
+    stores: int = 0
+    dtlb_miss_cycles: int = 0
+    il1: CacheStats = field(default_factory=CacheStats)
+    dl1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    dtlb: TLBStats = field(default_factory=TLBStats)
+    predictor: PredictorStats = field(default_factory=PredictorStats)
+
+    @property
+    def page_crossings(self) -> int:
+        return self.page_crossings_branch + self.page_crossings_boundary
+
+    @property
+    def branch_fraction(self) -> float:
+        return (self.dynamic_branches / self.instructions
+                if self.instructions else 0.0)
+
+
+@dataclass
+class SchemeResult:
+    """One iTLB policy's outcome in one pass."""
+
+    scheme: SchemeName
+    counters: SchemeCounters
+    itlb_stats: TLBStats
+    extra_cycles: int  #: translation stalls unique to this scheme
+    cycles: int  #: base_cycles + extra_cycles
+    energy: Optional[EnergyBreakdown] = None  #: filled by the simulator facade
+
+    @property
+    def lookups(self) -> int:
+        return self.counters.lookups
+
+    @property
+    def itlb_misses(self) -> int:
+        return self.counters.misses
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine pass produced."""
+
+    program_name: str
+    config: MachineConfig
+    addressing: CacheAddressing
+    shared: SharedStats
+    schemes: Dict[SchemeName, SchemeResult]
+    engine: str = "fast"
+
+    def scheme(self, name: SchemeName) -> SchemeResult:
+        return self.schemes[name]
+
+    @property
+    def ipc(self) -> float:
+        if not self.shared.base_cycles:
+            return 0.0
+        return self.shared.instructions / self.shared.base_cycles
+
+
+def summarize_result(result: EngineResult) -> str:
+    """Human-readable one-pass summary (used by examples and the CLI)."""
+    shared = result.shared
+    lines = [
+        f"program        {result.program_name} ({result.addressing.value} iL1, "
+        f"{result.engine} engine)",
+        f"instructions   {shared.instructions:,} "
+        f"({shared.boundary_instructions:,} boundary overhead)",
+        f"base cycles    {shared.base_cycles:,} (IPC {result.ipc:.2f})",
+        f"branches       {shared.dynamic_branches:,} "
+        f"({100.0 * shared.branch_fraction:.1f}% of instructions, "
+        f"predictor accuracy {100.0 * shared.predictor.accuracy:.2f}%)",
+        f"iL1 miss rate  {shared.il1.miss_rate:.4f}   "
+        f"dL1 miss rate {shared.dl1.miss_rate:.4f}   "
+        f"L2 miss rate {shared.l2.miss_rate:.4f}",
+        f"page crossings {shared.page_crossings:,} "
+        f"(BOUNDARY {shared.page_crossings_boundary:,} / "
+        f"BRANCH {shared.page_crossings_branch:,})",
+    ]
+    for name, scheme in result.schemes.items():
+        energy = (f"{scheme.energy.total_mj:.6f} mJ"
+                  if scheme.energy is not None else "n/a")
+        lines.append(
+            f"  {name.value:<5} lookups {scheme.lookups:>10,}  "
+            f"misses {scheme.itlb_misses:>7,}  cycles {scheme.cycles:>12,}  "
+            f"energy {energy}"
+        )
+    return "\n".join(lines)

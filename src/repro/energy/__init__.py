@@ -1,0 +1,20 @@
+"""Dynamic energy modelling.
+
+The paper derives per-access energies from CACTI for 0.1 micron technology
+and reports iTLB energy as ``n_a * E_a + n_m * E_m`` (Section 4.3.1), plus
+the HoA comparator cost on every fetch.  :mod:`repro.energy.cacti`
+implements a geometry-based CAM/RAM model calibrated so the paper's four
+iTLB design points land on the per-access energies its Table 6 implies;
+:mod:`repro.energy.accounting` turns raw event counters into the millijoule
+figures the tables print.
+"""
+
+from repro.energy.cacti import CactiLikeModel
+from repro.energy.accounting import EnergyBreakdown, itlb_energy_nj, NJ_PER_MJ
+
+__all__ = [
+    "CactiLikeModel",
+    "EnergyBreakdown",
+    "NJ_PER_MJ",
+    "itlb_energy_nj",
+]

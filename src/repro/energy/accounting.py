@@ -1,0 +1,101 @@
+"""Turning event counters into the paper's energy figures.
+
+The identity is Section 4.3.1's:  ``E = n_a * E_a + n_m * E_m``, plus
+scheme-specific overheads:
+
+* HoA adds one VPN comparator operation per instruction fetch;
+* IA's BTB-output compare and every scheme's CFR register reads are *not*
+  charged in the paper's accounting (its OPT equals pure lookup energy);
+  both can be switched on via :class:`~repro.config.EnergyConfig` to
+  quantify the omission (extensions experiment).
+
+For two-level TLBs each level's probes are charged at that level's own
+E_a, which is how serial lookup saves energy over parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import TLBConfig, TwoLevelTLBConfig
+from repro.energy.cacti import CactiLikeModel
+
+NJ_PER_MJ = 1e6
+"""Nanojoules per millijoule (paper tables are in mJ)."""
+
+
+@dataclass
+class EnergyBreakdown:
+    """iTLB-side energy of one run, by component (nanojoules)."""
+
+    lookup_nj: float = 0.0
+    miss_nj: float = 0.0
+    comparator_nj: float = 0.0
+    cfr_read_nj: float = 0.0
+    btb_compare_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        return (self.lookup_nj + self.miss_nj + self.comparator_nj
+                + self.cfr_read_nj + self.btb_compare_nj)
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_nj / NJ_PER_MJ
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Scale every component (used to extrapolate a short simulation
+        window to the paper's 250M-instruction horizon)."""
+        return EnergyBreakdown(
+            lookup_nj=self.lookup_nj * factor,
+            miss_nj=self.miss_nj * factor,
+            comparator_nj=self.comparator_nj * factor,
+            cfr_read_nj=self.cfr_read_nj * factor,
+            btb_compare_nj=self.btb_compare_nj * factor,
+        )
+
+
+def itlb_energy_nj(
+    model: CactiLikeModel,
+    *,
+    mono: Optional[TLBConfig] = None,
+    two_level: Optional[TwoLevelTLBConfig] = None,
+    lookups: int = 0,
+    l2_probes: int = 0,
+    misses: int = 0,
+    comparator_ops: int = 0,
+    cfr_reads: int = 0,
+    btb_compares: int = 0,
+) -> EnergyBreakdown:
+    """Energy of ``lookups`` iTLB lookups plus scheme overheads.
+
+    For a two-level iTLB, ``lookups`` counts accesses (level-1 probes) and
+    ``l2_probes`` how many of them also probed level 2; for a monolithic
+    TLB ``l2_probes`` must be 0.
+    """
+    if (mono is None) == (two_level is None):
+        raise ValueError("exactly one of mono/two_level must be given")
+    breakdown = EnergyBreakdown()
+    if mono is not None:
+        if l2_probes:
+            raise ValueError("l2_probes only applies to two-level TLBs")
+        breakdown.lookup_nj = lookups * model.tlb_access_energy(mono)
+        breakdown.miss_nj = misses * model.tlb_refill_energy(mono)
+    else:
+        e1 = model.tlb_access_energy(two_level.level1)
+        e2 = model.tlb_access_energy(two_level.level2)
+        if two_level.serial:
+            breakdown.lookup_nj = lookups * e1 + l2_probes * e2
+        else:
+            breakdown.lookup_nj = lookups * (e1 + e2)
+        breakdown.miss_nj = misses * (
+            model.tlb_refill_energy(two_level.level1)
+            + model.tlb_refill_energy(two_level.level2)
+        )
+    breakdown.comparator_nj = comparator_ops * model.comparator_energy()
+    if model.config.charge_cfr_reads:
+        breakdown.cfr_read_nj = cfr_reads * model.register_read_energy()
+    if model.config.charge_btb_compare:
+        breakdown.btb_compare_nj = btb_compares * model.btb_compare_energy()
+    return breakdown

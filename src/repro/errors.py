@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent machine/simulation configuration."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown label, bad operand, ...)."""
+
+
+class LayoutError(ReproError):
+    """A program could not be laid out in the virtual address space."""
+
+
+class ExecutionError(ReproError):
+    """The guest program performed an illegal operation at run time."""
+
+
+class MemoryFault(ExecutionError):
+    """An access touched an unmapped or misaligned address."""
+
+    def __init__(self, address: int, message: str = "") -> None:
+        detail = message or "memory fault"
+        super().__init__(f"{detail} at address {address:#010x}")
+        self.address = address
+
+
+class ProtectionFault(ExecutionError):
+    """An access violated the protection bits of its page."""
+
+    def __init__(self, address: int, needed: str) -> None:
+        super().__init__(
+            f"protection fault at {address:#010x}: page lacks '{needed}' permission"
+        )
+        self.address = address
+        self.needed = needed
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class CalibrationError(ReproError):
+    """A workload profile failed to meet its calibration targets."""

@@ -1,0 +1,61 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(settings) -> TableResult``; results render
+as paper-style text tables and carry paper-vs-measured comparisons where
+the paper printed absolute numbers.  ``repro.experiments.report`` executes
+the full set and writes EXPERIMENTS.md.
+
+Simulation passes are shared across experiments through a per-process
+cache (:mod:`repro.experiments.common`): Table 2, Tables 3-5, and Figures
+4-5 all read the same two default-configuration passes per benchmark.
+"""
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    TableResult,
+    clear_cache,
+    combined_run,
+    default_settings,
+)
+from repro.experiments import (
+    configuration,
+    extensions,
+    fig4,
+    fig5,
+    fig6,
+    sensitivity,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    validation,
+)
+from repro.experiments.report import ALL_EXPERIMENTS, run_all, write_experiments_md
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentSettings",
+    "TableResult",
+    "clear_cache",
+    "combined_run",
+    "configuration",
+    "default_settings",
+    "extensions",
+    "fig4",
+    "fig5",
+    "fig6",
+    "run_all",
+    "sensitivity",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "validation",
+    "write_experiments_md",
+]

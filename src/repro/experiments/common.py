@@ -1,0 +1,189 @@
+"""Shared infrastructure for the experiment harness.
+
+``combined_run`` memoizes (benchmark, machine-variant) passes so that the
+many tables reading the default configuration reuse two passes per
+benchmark instead of re-simulating.  ``TableResult`` is the uniform result
+object: ordered rows of named columns, a title, and free-form notes
+(deviations, scaling).
+
+Scaling: the paper simulates 250M instructions; we simulate
+``settings.instructions``.  Energies and cycles reported in "paper units"
+are linearly scaled by the instruction ratio — valid because every
+underlying quantity is a per-instruction rate.  Raw measured values are
+always reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    CacheAddressing,
+    MachineConfig,
+    SchemeName,
+    default_config,
+)
+from repro.sim.multi import CombinedRun, run_all_schemes
+from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+
+PAPER_INSTRUCTIONS = 250_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """How much simulation each experiment performs."""
+
+    instructions: int = 120_000
+    warmup: int = 20_000
+    benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+
+    @property
+    def paper_scale(self) -> float:
+        """Factor converting a measured count to the paper's 250M horizon."""
+        return PAPER_INSTRUCTIONS / self.instructions
+
+
+def default_settings(instructions: Optional[int] = None,
+                     warmup: Optional[int] = None,
+                     benchmarks: Optional[Sequence[str]] = None
+                     ) -> ExperimentSettings:
+    kwargs = {}
+    if instructions is not None:
+        kwargs["instructions"] = instructions
+        if warmup is None:
+            kwargs["warmup"] = max(instructions // 6, 1000)
+    if warmup is not None:
+        kwargs["warmup"] = warmup
+    if benchmarks is not None:
+        kwargs["benchmarks"] = tuple(benchmarks)
+    return ExperimentSettings(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Pass cache
+# ---------------------------------------------------------------------------
+
+_CACHE: Dict[tuple, CombinedRun] = {}
+
+
+def _config_key(config: MachineConfig) -> tuple:
+    itlb = config.itlb
+    two = config.itlb_two_level
+    il1 = config.mem.il1
+    return (
+        config.mem.il1_addressing.value,
+        itlb.entries, itlb.assoc,
+        None if two is None else (two.level1.entries, two.level1.assoc,
+                                  two.level2.entries, two.level2.assoc,
+                                  two.serial),
+        config.mem.page_bytes,
+        il1.size_bytes, il1.assoc, il1.block_bytes,
+        config.branch.kind, config.branch.ras_entries,
+    )
+
+
+def combined_run(benchmark: str, config: MachineConfig,
+                 settings: ExperimentSettings) -> CombinedRun:
+    """Memoized two-pass evaluation of every scheme on one benchmark."""
+    key = (benchmark, settings.instructions, settings.warmup,
+           _config_key(config))
+    if key not in _CACHE:
+        _CACHE[key] = run_all_schemes(
+            load_benchmark(benchmark), config,
+            instructions=settings.instructions, warmup=settings.warmup)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Result rendering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableResult:
+    """One regenerated table/figure."""
+
+    experiment_id: str  #: e.g. "Table 2", "Figure 4"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def render(self, float_fmt: str = "{:.4g}") -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return float_fmt.format(value)
+            return str(value)
+
+        widths = {c: len(c) for c in self.columns}
+        rendered_rows = []
+        for row in self.rows:
+            rendered = {c: fmt(row.get(c, "")) for c in self.columns}
+            rendered_rows.append(rendered)
+            for c in self.columns:
+                widths[c] = max(widths[c], len(rendered[c]))
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        sep = "-" * len(header)
+        lines = [f"{self.experiment_id}: {self.title}", sep, header, sep]
+        for rendered in rendered_rows:
+            lines.append("  ".join(rendered[c].rjust(widths[c])
+                                   for c in self.columns))
+        lines.append(sep)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(row.get(c, ""))
+                                           for c in self.columns) + " |")
+        lines.append("")
+        for note in self.notes:
+            lines.append(f"*{note}*")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def short_name(benchmark: str) -> str:
+    """'177.mesa' -> 'mesa' (the paper uses both forms)."""
+    return benchmark.split(".", 1)[1] if "." in benchmark else benchmark
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def average(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0

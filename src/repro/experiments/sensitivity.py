@@ -1,0 +1,126 @@
+"""Section 4.4 sensitivity studies: iL1 configuration and page size.
+
+The paper summarizes these (details were in its TR version): IA's VI-VT
+benefits grow for smaller/less-associative iL1s (more misses expose the
+iTLB), and larger pages improve CFR coverage, increasing every scheme's
+savings.  Both sweeps are regenerated here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import (
+    CacheAddressing,
+    CacheConfig,
+    SchemeName,
+    default_config,
+)
+from repro.experiments.common import (
+    ExperimentSettings,
+    TableResult,
+    average,
+    combined_run,
+    default_settings,
+    short_name,
+)
+
+#: the iL1 sweep: (size KB, assoc)
+IL1_SWEEP = ((4, 1), (8, 1), (16, 2), (32, 2))
+
+#: page sizes swept (bytes)
+PAGE_SWEEP = (4096, 8192, 16384, 65536)
+
+
+def run_il1(settings: Optional[ExperimentSettings] = None) -> TableResult:
+    settings = settings or default_settings()
+    result = TableResult(
+        experiment_id="Sensitivity (iL1)",
+        title="IA with VI-VT iL1 across iL1 geometries",
+        columns=["iL1", "benchmark", "iL1 miss rate",
+                 "ia energy % of base", "ia cycles % of base"],
+    )
+    for size_kb, assoc in IL1_SWEEP:
+        il1 = CacheConfig("iL1", size_bytes=size_kb * 1024, assoc=assoc,
+                          block_bytes=32, hit_latency=1)
+        label = f"{size_kb}KB/{assoc}w"
+        e_list, c_list = [], []
+        for bench in settings.benchmarks:
+            cfg = default_config(CacheAddressing.VIVT).with_il1(il1)
+            run_ = combined_run(bench, cfg, settings)
+            e_pct = 100.0 * run_.normalized_energy(SchemeName.IA)
+            c_pct = 100.0 * run_.normalized_cycles(SchemeName.IA)
+            e_list.append(e_pct)
+            c_list.append(c_pct)
+            result.add_row(**{
+                "iL1": label, "benchmark": short_name(bench),
+                "iL1 miss rate": run_.shared.il1.miss_rate,
+                "ia energy % of base": e_pct,
+                "ia cycles % of base": c_pct,
+            })
+        result.add_row(**{"iL1": label, "benchmark": "average",
+                          "iL1 miss rate": float("nan"),
+                          "ia energy % of base": average(e_list),
+                          "ia cycles % of base": average(c_list)})
+    result.notes.append(
+        "smaller/less-associative iL1s miss more, so IA's VI-VT cycle "
+        "savings grow toward the top of the table")
+    return result
+
+
+def run_page_size(settings: Optional[ExperimentSettings] = None
+                  ) -> TableResult:
+    settings = settings or default_settings()
+    result = TableResult(
+        experiment_id="Sensitivity (page size)",
+        title="IA and OPT (VI-PT) across page sizes",
+        columns=["page", "benchmark", "page crossings/kinst",
+                 "ia energy % of base", "opt energy % of base"],
+    )
+    for page_bytes in PAGE_SWEEP:
+        label = f"{page_bytes // 1024}KB"
+        for bench in settings.benchmarks:
+            cfg = default_config(CacheAddressing.VIPT) \
+                .with_page_bytes(page_bytes)
+            run_ = combined_run(bench, cfg, settings)
+            shared = run_.shared
+            per_kinst = (1000.0 * shared.page_crossings
+                         / shared.instructions if shared.instructions else 0)
+            result.add_row(**{
+                "page": label, "benchmark": short_name(bench),
+                "page crossings/kinst": per_kinst,
+                "ia energy % of base":
+                    100.0 * run_.normalized_energy(SchemeName.IA),
+                "opt energy % of base":
+                    100.0 * run_.normalized_energy(SchemeName.OPT),
+            })
+    result.notes.append(
+        "larger pages -> fewer crossings -> better CFR coverage: both IA "
+        "and OPT percentages fall monotonically with page size")
+    return result
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
+    """Both sweeps merged for the report."""
+    settings = settings or default_settings()
+    il1 = run_il1(settings)
+    page = run_page_size(settings)
+    merged = TableResult(
+        experiment_id="Sensitivity",
+        title="iL1-geometry and page-size sensitivity (Section 4.4)",
+        columns=["sweep", "point", "benchmark", "metric", "value"],
+        notes=il1.notes + page.notes,
+    )
+    for row in il1.rows:
+        for metric in ("iL1 miss rate", "ia energy % of base",
+                       "ia cycles % of base"):
+            merged.add_row(sweep="il1", point=row["iL1"],
+                           benchmark=row["benchmark"], metric=metric,
+                           value=row[metric])
+    for row in page.rows:
+        for metric in ("page crossings/kinst", "ia energy % of base",
+                       "opt energy % of base"):
+            merged.add_row(sweep="page", point=row["page"],
+                           benchmark=row["benchmark"], metric=metric,
+                           value=row[metric])
+    return merged

@@ -1,0 +1,62 @@
+"""Table 4: static and dynamic branch statistics.
+
+Static half: over the program's control instructions — how many are
+statically analyzable, and how many of those cross their own page.
+Dynamic half: the same classification weighted by execution counts.
+These feed SoLA directly (in-page bit) and bound what the software
+schemes can save.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.analysis import analyze_program
+from repro.config import default_config
+from repro.experiments.common import (
+    ExperimentSettings,
+    TableResult,
+    default_settings,
+    short_name,
+)
+from repro.workloads.calibration import _dynamic_branch_classes
+from repro.workloads.spec2000 import PAPER_REFERENCE, load_benchmark
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
+    settings = settings or default_settings()
+    result = TableResult(
+        experiment_id="Table 4",
+        title="Static and dynamic branch statistics",
+        columns=[
+            "benchmark",
+            "static total", "static analyzable", "static in-page %",
+            "dyn total", "dyn analyzable %", "paper anlz %",
+            "dyn in-page %", "paper in-page %",
+        ],
+    )
+    config = default_config()
+    for bench in settings.benchmarks:
+        workload = load_benchmark(bench)
+        program = workload.link(page_bytes=config.mem.page_bytes)
+        static = analyze_program(program)
+        analyzable, in_page, total = _dynamic_branch_classes(
+            workload, config, instructions=settings.instructions,
+            warmup=settings.warmup)
+        paper = PAPER_REFERENCE[bench]
+        result.add_row(**{
+            "benchmark": short_name(bench),
+            "static total": static.total,
+            "static analyzable": static.analyzable,
+            "static in-page %": 100.0 * static.in_page_fraction,
+            "dyn total": total,
+            "dyn analyzable %": (100.0 * analyzable / total) if total else 0,
+            "paper anlz %": paper.analyzable_pct,
+            "dyn in-page %": (100.0 * in_page / analyzable)
+            if analyzable else 0,
+            "paper in-page %": paper.in_page_pct,
+        })
+    result.notes.append(
+        "analyzable = direct conditional branches / jumps / calls; "
+        "in-page fractions are over analyzable branches")
+    return result

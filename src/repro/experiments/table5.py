@@ -1,0 +1,46 @@
+"""Table 5: branch predictor accuracy.
+
+IA's remaining gap to OPT is bounded by these accuracies (paper Section
+3.3.4), which is why the extensions experiment also sweeps better
+predictors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CacheAddressing, default_config
+from repro.experiments.common import (
+    ExperimentSettings,
+    TableResult,
+    combined_run,
+    default_settings,
+    short_name,
+)
+from repro.workloads.spec2000 import PAPER_REFERENCE
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
+    settings = settings or default_settings()
+    result = TableResult(
+        experiment_id="Table 5",
+        title="Branch predictor accuracy (percent)",
+        columns=["benchmark", "accuracy %", "paper %",
+                 "conditional %", "indirect %"],
+    )
+    for bench in settings.benchmarks:
+        run_ = combined_run(bench, default_config(CacheAddressing.VIPT),
+                            settings)
+        stats = run_.shared.predictor
+        cond_acc = (1.0 - stats.conditional_mispredicts
+                    / stats.conditional) if stats.conditional else 1.0
+        ind_acc = (1.0 - stats.indirect_mispredicts
+                   / stats.indirect) if stats.indirect else 1.0
+        result.add_row(**{
+            "benchmark": short_name(bench),
+            "accuracy %": 100.0 * stats.accuracy,
+            "paper %": PAPER_REFERENCE[bench].predictor_accuracy,
+            "conditional %": 100.0 * cond_acc,
+            "indirect %": 100.0 * ind_acc,
+        })
+    return result

@@ -1,0 +1,82 @@
+"""Engine cross-validation: fast engine vs detailed out-of-order engine.
+
+The sweeps run on the fast engine; this experiment quantifies what that
+approximation costs by running the detailed OoO core (with wrong-path
+fetch) on the same workloads and comparing cycle counts, lookup counts,
+and microarchitectural rates.  Divergences worth knowing about:
+
+* the OoO engine's iL1/iTLB traffic includes wrong-path fetches, so its
+  Base lookup counts run a few percent higher;
+* cycles differ by the fast engine's list-scheduling approximation —
+  agreement within ~25% is the acceptance band (both engines share the
+  architectural stream, so counts must agree far more tightly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CacheAddressing, SchemeName, default_config
+from repro.cpu.ooo import OutOfOrderEngine
+from repro.experiments.common import (
+    ExperimentSettings,
+    TableResult,
+    combined_run,
+    default_settings,
+    short_name,
+)
+from repro.sim.simulator import attach_energy
+from repro.workloads.spec2000 import load_benchmark
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
+    settings = settings or default_settings()
+    # the detailed engine is ~10x slower: validate on a reduced window
+    instructions = max(settings.instructions // 4, 5_000)
+    warmup = max(settings.warmup // 4, 1_000)
+    benchmarks = settings.benchmarks[:2]
+    result = TableResult(
+        experiment_id="Validation",
+        title="Fast engine vs detailed out-of-order engine",
+        columns=["benchmark", "scheme", "iL1 addr",
+                 "fast cycles", "ooo cycles", "cycle ratio",
+                 "fast lookups", "ooo lookups", "lookup ratio"],
+    )
+    fast_settings = ExperimentSettings(instructions=instructions,
+                                       warmup=warmup,
+                                       benchmarks=tuple(benchmarks))
+    for bench in benchmarks:
+        workload = load_benchmark(bench)
+        for addressing in (CacheAddressing.VIPT, CacheAddressing.VIVT):
+            config = default_config(addressing)
+            fast = combined_run(bench, config, fast_settings)
+            for scheme in (SchemeName.BASE, SchemeName.IA):
+                program = workload.link(
+                    page_bytes=config.mem.page_bytes,
+                    instrumented=scheme.needs_instrumented_binary)
+                engine = OutOfOrderEngine(program, config, scheme=scheme)
+                ooo = attach_energy(engine.run(instructions, warmup=warmup))
+                fast_scheme = fast.scheme(scheme)
+                ooo_scheme = ooo.schemes[scheme]
+                fast_cycles = fast_scheme.cycles
+                ooo_cycles = ooo_scheme.cycles
+                fast_lookups = fast_scheme.lookups
+                ooo_lookups = ooo_scheme.lookups
+                result.add_row(**{
+                    "benchmark": short_name(bench),
+                    "scheme": scheme.value,
+                    "iL1 addr": addressing.value,
+                    "fast cycles": fast_cycles,
+                    "ooo cycles": ooo_cycles,
+                    "cycle ratio": (fast_cycles / ooo_cycles
+                                    if ooo_cycles else float("nan")),
+                    "fast lookups": fast_lookups,
+                    "ooo lookups": ooo_lookups,
+                    "lookup ratio": (fast_lookups / ooo_lookups
+                                     if ooo_lookups else float("nan")),
+                })
+    result.notes.append(
+        "lookup ratios sit slightly below 1 for Base (the OoO engine also "
+        "fetches — and translates — down mispredicted paths); cycle "
+        "ratios within ~0.75-1.3 validate the list-scheduling timing model")
+    return result

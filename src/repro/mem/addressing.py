@@ -1,0 +1,59 @@
+"""iL1 addressing disciplines (paper Section 2).
+
+A cache access needs an *index* address (selects the set) and a *tag*
+address (matched against resident tags).  Each discipline draws these from
+the virtual or physical address:
+
+============  =========  =======
+discipline    index      tag
+============  =========  =======
+VI-VT         virtual    virtual
+VI-PT         virtual    physical
+PI-PT         physical   physical
+============  =========  =======
+
+The timing consequences (whether the iTLB sits on the fetch critical path)
+are handled by the engines in :mod:`repro.cpu`; this module only answers
+"which address goes where".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config import CacheAddressing
+
+
+def addressing_pair(addressing: CacheAddressing, va: int, pa: int
+                    ) -> Tuple[int, int]:
+    """Return ``(index_addr, tag_addr)`` for one access."""
+    if addressing is CacheAddressing.VIVT:
+        return va, va
+    if addressing is CacheAddressing.VIPT:
+        return va, pa
+    return pa, pa
+
+
+def needs_translation_before_index(addressing: CacheAddressing) -> bool:
+    """PI-PT needs the physical address before the cache can be indexed,
+    putting the iTLB on the critical path (the paper deliberately places no
+    page-offset-only restriction on iL1 geometry, so this is always true
+    for PI-PT)."""
+    return addressing is CacheAddressing.PIPT
+
+
+def needs_translation_for_hit(addressing: CacheAddressing) -> bool:
+    """VI-PT needs the physical tag to declare a hit, so a translation is
+    required on every access (in parallel with indexing)."""
+    return addressing in (CacheAddressing.PIPT, CacheAddressing.VIPT)
+
+
+def needs_translation_on_miss_only(addressing: CacheAddressing) -> bool:
+    """VI-VT resolves hits purely with virtual addresses; the translation
+    is needed only to access the (physically addressed) L2 after a miss."""
+    return addressing is CacheAddressing.VIVT
+
+
+def split_address(addr: int, page_bytes: int) -> Tuple[int, int]:
+    """Split a byte address into (page number, page offset)."""
+    return addr // page_bytes, addr % page_bytes

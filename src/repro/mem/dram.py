@@ -1,0 +1,48 @@
+"""DRAM model.
+
+Table 1: "128MB (divided into 32MB banks), 100 cycle latency".  The model
+charges a fixed access latency plus a small queueing penalty when
+consecutive accesses land in the same bank — enough to make bank count a
+real (if minor) parameter without simulating a memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMStats:
+    accesses: int = 0
+    bank_conflicts: int = 0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.bank_conflicts = 0
+
+
+class DRAM:
+    """Fixed-latency banked DRAM."""
+
+    #: extra cycles charged when an access hits the same bank as the
+    #: previous one (coarse stand-in for bank busy time)
+    BANK_CONFLICT_PENALTY = 8
+
+    def __init__(self, latency: int, banks: int,
+                 bank_bytes: int = 32 * 1024 * 1024) -> None:
+        self.latency = latency
+        self.banks = max(banks, 1)
+        self.bank_shift = bank_bytes.bit_length() - 1
+        self.stats = DRAMStats()
+        self._last_bank = -1
+
+    def access(self, pa: int) -> int:
+        """Return the latency of one DRAM access at physical address ``pa``."""
+        self.stats.accesses += 1
+        bank = (pa >> self.bank_shift) % self.banks
+        latency = self.latency
+        if bank == self._last_bank:
+            self.stats.bank_conflicts += 1
+            latency += self.BANK_CONFLICT_PENALTY
+        self._last_bank = bank
+        return latency

@@ -1,0 +1,19 @@
+"""High-level simulation API.
+
+:class:`~repro.sim.simulator.Simulator` runs one program/config pair and
+attaches CACTI-derived energy numbers to every scheme's counters.
+:func:`~repro.sim.multi.run_all_schemes` reproduces the paper's
+methodology in one call: Base/HoA/OPT on the plain binary, SoCA/SoLA/IA on
+the instrumented binary, merged into a :class:`~repro.sim.multi.CombinedRun`
+that the experiment harness consumes.
+"""
+
+from repro.sim.simulator import Simulator, attach_energy
+from repro.sim.multi import CombinedRun, run_all_schemes
+
+__all__ = [
+    "CombinedRun",
+    "Simulator",
+    "attach_energy",
+    "run_all_schemes",
+]

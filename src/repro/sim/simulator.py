@@ -1,0 +1,94 @@
+"""The Simulator facade.
+
+Wraps engine construction, execution, and energy attachment behind one
+call.  Energy attachment applies the paper's accounting (Section 4.3.1):
+
+* every scheme pays ``lookups * E_a + misses * E_m`` on its iTLB;
+* HoA additionally pays one VPN comparator per fetched instruction;
+* CFR register reads and IA's BTB-output compare are charged only when
+  the corresponding :class:`~repro.config.EnergyConfig` switches are on
+  (the paper leaves them out; the extensions experiment turns them on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import MachineConfig, SchemeName, default_config
+from repro.cpu.fast import FastEngine
+from repro.cpu.ooo import OutOfOrderEngine
+from repro.cpu.results import EngineResult
+from repro.energy.accounting import itlb_energy_nj
+from repro.energy.cacti import CactiLikeModel
+from repro.errors import ConfigError
+from repro.isa.program import Program
+
+
+def attach_energy(result: EngineResult,
+                  model: Optional[CactiLikeModel] = None) -> EngineResult:
+    """Fill ``SchemeResult.energy`` for every scheme in ``result``."""
+    config = result.config
+    if model is None:
+        model = CactiLikeModel(config.energy)
+    for scheme in result.schemes.values():
+        counters = scheme.counters
+        if config.itlb_two_level is not None:
+            scheme.energy = itlb_energy_nj(
+                model,
+                two_level=config.itlb_two_level,
+                lookups=counters.lookups,
+                l2_probes=counters.l2_probes,
+                misses=counters.misses,
+                comparator_ops=counters.comparator_ops,
+                cfr_reads=counters.cfr_reads,
+                btb_compares=counters.btb_compares,
+            )
+        else:
+            scheme.energy = itlb_energy_nj(
+                model,
+                mono=config.itlb,
+                lookups=counters.lookups,
+                misses=counters.misses,
+                comparator_ops=counters.comparator_ops,
+                cfr_reads=counters.cfr_reads,
+                btb_compares=counters.btb_compares,
+            )
+    return result
+
+
+class Simulator:
+    """Run programs under a machine configuration."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config if config is not None else default_config()
+        self.energy_model = CactiLikeModel(self.config.energy)
+
+    def run_program(self, program: Program, *, instructions: int,
+                    warmup: int = 0,
+                    schemes: Optional[Sequence[SchemeName]] = None,
+                    engine: str = "fast") -> EngineResult:
+        """Simulate ``program`` and return a result with energy attached.
+
+        ``engine="fast"`` evaluates all requested schemes in one pass;
+        ``engine="ooo"`` runs the detailed core and requires exactly one
+        scheme.
+        """
+        if program.page_bytes != self.config.mem.page_bytes:
+            raise ConfigError(
+                f"program linked for {program.page_bytes}-byte pages but "
+                f"machine uses {self.config.mem.page_bytes}-byte pages"
+            )
+        if engine == "fast":
+            result = FastEngine(program, self.config,
+                                schemes=schemes).run(instructions, warmup)
+        elif engine == "ooo":
+            selected = tuple(schemes) if schemes else (SchemeName.IA,)
+            if len(selected) != 1:
+                raise ConfigError(
+                    "the detailed engine runs exactly one scheme per pass")
+            result = OutOfOrderEngine(program, self.config,
+                                      scheme=selected[0]).run(instructions,
+                                                              warmup)
+        else:
+            raise ConfigError(f"unknown engine '{engine}'")
+        return attach_energy(result, self.energy_model)

@@ -1,0 +1,30 @@
+"""Virtual memory substrate: page tables, TLBs, and a minimal OS model.
+
+The paper assumes an ordinary demand-paged OS.  The pieces modelled here are
+the ones its mechanisms interact with:
+
+* a page table with a deterministic (but non-identity) virtual-to-physical
+  mapping, so physically-addressed structures see genuinely different
+  addresses than virtually-addressed ones;
+* LRU TLBs, fully- or set-associative, including the paper's two-level
+  iTLB organizations (Section 4.3.2);
+* an OS model providing page-fault handling, page protection, pinning of
+  the CFR's current page (Section 3.2), and context-switch hooks that save,
+  restore, or invalidate the CFR.
+"""
+
+from repro.vm.page_table import PageTable, Protection, PTE
+from repro.vm.tlb import TLB, TLBStats, TwoLevelTLB, build_itlb
+from repro.vm.os_model import OSModel, AddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "OSModel",
+    "PTE",
+    "PageTable",
+    "Protection",
+    "TLB",
+    "TLBStats",
+    "TwoLevelTLB",
+    "build_itlb",
+]

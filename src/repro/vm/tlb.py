@@ -1,0 +1,232 @@
+"""Translation lookaside buffers.
+
+Two organizations are modelled, matching the paper's evaluation space:
+
+* :class:`TLB` — a monolithic TLB, fully associative or set-associative,
+  LRU replacement (paper Tables 6/7 sweep 1, 8-FA, 16-2way, 32-FA for the
+  iTLB and use 128-FA for the dTLB);
+* :class:`TwoLevelTLB` — the Section 4.3.2 organization: a small level-1
+  backed by a larger level-2, probed serially (level-2 only on a level-1
+  miss, one extra cycle, the paper's optimistic assumption) or in parallel
+  (both probed every access; better latency, strictly worse energy).
+
+Lookups return which structure(s) were probed so the energy accounting in
+:mod:`repro.energy` can charge each probe at its own CACTI-derived cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.config import TLBConfig, TwoLevelTLBConfig
+from repro.vm.page_table import PageTable, Protection
+
+
+@dataclass
+class TLBStats:
+    """Access counters for one translation structure."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.flushes = 0
+
+
+class TLB:
+    """A monolithic LRU TLB.
+
+    ``config.assoc == FULL_ASSOC`` (0) or >= entries gives a single
+    fully-associative set; otherwise VPNs are distributed across
+    ``entries/assoc`` sets by their low bits, each set maintaining LRU
+    order.  Entries map VPN -> (PFN, protection).
+    """
+
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = (config.entries if config.is_fully_associative
+                     else config.assoc)
+        self._sets: List[OrderedDict[int, Tuple[int, Protection]]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self._set_mask = self.num_sets - 1
+        self.stats = TLBStats()
+
+    # -- core operations -----------------------------------------------------
+
+    def probe(self, vpn: int) -> Optional[Tuple[int, Protection]]:
+        """Content check without touching stats or LRU state."""
+        return self._sets[vpn & self._set_mask].get(vpn)
+
+    def access(self, vpn: int) -> Optional[Tuple[int, Protection]]:
+        """Look up ``vpn``; returns (pfn, prot) on a hit, None on a miss.
+        Counts one access and updates recency."""
+        self.stats.accesses += 1
+        entry_set = self._sets[vpn & self._set_mask]
+        entry = entry_set.get(vpn)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry_set.move_to_end(vpn)
+        return entry
+
+    def fill(self, vpn: int, pfn: int, prot: Protection = Protection.RWX
+             ) -> Optional[int]:
+        """Insert a translation, evicting LRU if the set is full.  Returns
+        the evicted VPN, if any."""
+        entry_set = self._sets[vpn & self._set_mask]
+        victim = None
+        if vpn not in entry_set and len(entry_set) >= self.ways:
+            victim, _ = entry_set.popitem(last=False)
+        entry_set[vpn] = (pfn, prot)
+        entry_set.move_to_end(vpn)
+        return victim
+
+    def translate(self, vpn: int, page_table: PageTable,
+                  prot: Protection = Protection.EXEC
+                  ) -> Tuple[int, bool]:
+        """Full lookup path: probe, refill from the page table on a miss.
+        Returns (pfn, hit)."""
+        entry = self.access(vpn)
+        if entry is not None:
+            return entry[0], True
+        pte = page_table.translate(vpn, prot=prot)
+        self.fill(vpn, pte.pfn, pte.prot)
+        return pte.pfn, False
+
+    # -- maintenance ------------------------------------------------------
+
+    def invalidate(self, vpn: int) -> bool:
+        entry_set = self._sets[vpn & self._set_mask]
+        if vpn in entry_set:
+            del entry_set[vpn]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        for entry_set in self._sets:
+            entry_set.clear()
+        self.stats.flushes += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_vpns(self) -> List[int]:
+        return [vpn for s in self._sets for vpn in s]
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.probe(vpn) is not None
+
+
+class TwoLevelTLB:
+    """The paper's two-level iTLB (Section 4.3.2).
+
+    Serial mode: probe L1; on a miss probe L2 (one extra cycle); on an L2
+    miss walk the page table and fill both levels.  Parallel mode: both
+    levels are probed (and charged energy) on every access, so only the
+    miss-penalty timing differs.
+
+    ``last_probes`` reports how many (l1, l2) probes the most recent access
+    performed, which the energy accounting consumes.
+    """
+
+    def __init__(self, config: TwoLevelTLBConfig, name: str = "itlb2") -> None:
+        self.config = config
+        self.name = name
+        self.level1 = TLB(config.level1, name=f"{name}.l1")
+        self.level2 = TLB(config.level2, name=f"{name}.l2")
+        self.stats = TLBStats()  #: combined view: miss == full miss (walk)
+        self.last_probes: Tuple[int, int] = (0, 0)
+        self.last_extra_latency = 0
+
+    def translate(self, vpn: int, page_table: PageTable,
+                  prot: Protection = Protection.EXEC
+                  ) -> Tuple[int, bool]:
+        """Returns (pfn, hit) where hit means "no page walk was needed"."""
+        self.stats.accesses += 1
+        if self.config.serial:
+            return self._translate_serial(vpn, page_table, prot)
+        return self._translate_parallel(vpn, page_table, prot)
+
+    def _translate_serial(self, vpn: int, page_table: PageTable,
+                          prot: Protection) -> Tuple[int, bool]:
+        entry = self.level1.access(vpn)
+        if entry is not None:
+            self.last_probes = (1, 0)
+            self.last_extra_latency = 0
+            self.stats.hits += 1
+            return entry[0], True
+        entry = self.level2.access(vpn)
+        if entry is not None:
+            self.last_probes = (1, 1)
+            self.last_extra_latency = self.config.l2_extra_latency
+            self.level1.fill(vpn, entry[0], entry[1])
+            self.stats.hits += 1
+            return entry[0], True
+        self.last_probes = (1, 1)
+        self.last_extra_latency = self.config.l2_extra_latency
+        self.stats.misses += 1
+        pte = page_table.translate(vpn, prot=prot)
+        self.level2.fill(vpn, pte.pfn, pte.prot)
+        self.level1.fill(vpn, pte.pfn, pte.prot)
+        return pte.pfn, False
+
+    def _translate_parallel(self, vpn: int, page_table: PageTable,
+                            prot: Protection) -> Tuple[int, bool]:
+        self.last_probes = (1, 1)
+        self.last_extra_latency = 0
+        hit1 = self.level1.access(vpn)
+        hit2 = self.level2.access(vpn)
+        if hit1 is not None:
+            self.stats.hits += 1
+            return hit1[0], True
+        if hit2 is not None:
+            self.stats.hits += 1
+            self.level1.fill(vpn, hit2[0], hit2[1])
+            return hit2[0], True
+        self.stats.misses += 1
+        pte = page_table.translate(vpn, prot=prot)
+        self.level2.fill(vpn, pte.pfn, pte.prot)
+        self.level1.fill(vpn, pte.pfn, pte.prot)
+        return pte.pfn, False
+
+    def invalidate(self, vpn: int) -> None:
+        self.level1.invalidate(vpn)
+        self.level2.invalidate(vpn)
+
+    def flush(self) -> None:
+        self.level1.flush()
+        self.level2.flush()
+        self.stats.flushes += 1
+
+
+AnyTLB = Union[TLB, TwoLevelTLB]
+
+
+def build_itlb(mono: TLBConfig,
+               two_level: Optional[TwoLevelTLBConfig] = None,
+               name: str = "itlb") -> AnyTLB:
+    """Factory: a two-level iTLB when configured, else a monolithic one."""
+    if two_level is not None:
+        return TwoLevelTLB(two_level, name=name)
+    return TLB(mono, name=name)

@@ -1,0 +1,39 @@
+"""Workloads.
+
+The paper drives its evaluation with six SPEC2000 benchmarks chosen for
+their comparatively poor instruction locality (Table 2).  SPEC binaries
+cannot be executed here, so :mod:`repro.workloads.synthetic` generates
+programs in our ISA whose *measured* characteristics are calibrated to the
+paper's Table 2/4/5 rows — dynamic branch fraction, iL1 miss rate, branch
+predictor accuracy, page-crossing rate and BOUNDARY/BRANCH split, fraction
+of analyzable branches, and in-page fraction (see
+:mod:`repro.workloads.spec2000` for the per-benchmark profiles and the
+paper's reference numbers).  :mod:`repro.workloads.microbench` holds small
+hand-written programs used by tests and examples.
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    WorkloadProfile,
+    generate,
+)
+from repro.workloads.spec2000 import (
+    BENCHMARK_NAMES,
+    PAPER_REFERENCE,
+    load_benchmark,
+    profile_for,
+    spec2000_suite,
+)
+from repro.workloads import microbench
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "PAPER_REFERENCE",
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "generate",
+    "load_benchmark",
+    "microbench",
+    "profile_for",
+    "spec2000_suite",
+]

@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache expensive artifacts (generated workloads,
+engine passes) so the suite stays fast; function-scoped fixtures hand out
+fresh mutable components.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheAddressing, SchemeName, default_config
+from repro.sim.multi import run_all_schemes
+from repro.workloads import microbench
+from repro.workloads.spec2000 import load_benchmark
+from repro.isa.assembler import link
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def mesa_workload():
+    return load_benchmark("177.mesa")
+
+
+@pytest.fixture(scope="session")
+def mesa_program(mesa_workload):
+    return mesa_workload.link()
+
+
+@pytest.fixture(scope="session")
+def mesa_instrumented(mesa_workload):
+    return mesa_workload.link(instrumented=True)
+
+
+@pytest.fixture(scope="session")
+def mesa_run_vipt(mesa_workload):
+    """One full multi-scheme evaluation, shared by many tests."""
+    return run_all_schemes(mesa_workload, default_config(CacheAddressing.VIPT),
+                           instructions=20_000, warmup=4_000)
+
+
+@pytest.fixture(scope="session")
+def mesa_run_vivt(mesa_workload):
+    return run_all_schemes(mesa_workload, default_config(CacheAddressing.VIVT),
+                           instructions=20_000, warmup=4_000)
+
+
+@pytest.fixture()
+def loop_module():
+    return microbench.counted_loop(iterations=50, body_len=3)
+
+
+@pytest.fixture()
+def loop_program(loop_module):
+    return link(loop_module, page_bytes=4096)

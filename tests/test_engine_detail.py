@@ -1,0 +1,176 @@
+"""Fast-engine internals: bulk counters, page-size variants, two-level
+iTLBs through the engine, PI-PT group stalls, dTLB behaviour."""
+
+import pytest
+
+from repro.config import (
+    CacheAddressing,
+    SchemeName,
+    TLBConfig,
+    TwoLevelTLBConfig,
+    default_config,
+)
+from repro.cpu.fast import FastEngine
+from repro.isa.assembler import link
+from repro.sim.multi import run_all_schemes
+from repro.workloads import microbench
+from repro.workloads.spec2000 import load_benchmark
+
+
+def _engine(addressing=CacheAddressing.VIPT, schemes=None, config=None,
+            bench="177.mesa", instrumented=False, page_bytes=4096):
+    config = config or default_config(addressing)
+    program = load_benchmark(bench).link(
+        page_bytes=config.mem.page_bytes, instrumented=instrumented)
+    return FastEngine(program, config, schemes=schemes)
+
+
+class TestBulkCounters:
+    def test_il1_accesses_equal_instructions(self):
+        engine = _engine(schemes=(SchemeName.BASE,))
+        result = engine.run(5000, warmup=1000)
+        assert result.shared.il1.accesses == result.shared.instructions
+
+    def test_dtlb_accesses_equal_memory_refs(self):
+        engine = _engine(schemes=(SchemeName.BASE,))
+        result = engine.run(5000, warmup=1000)
+        refs = result.shared.loads + result.shared.stores
+        assert result.shared.dtlb.accesses == refs
+
+    def test_base_lookup_hit_rate_consistent(self):
+        engine = _engine(schemes=(SchemeName.BASE,))
+        result = engine.run(5000, warmup=1000)
+        base = result.schemes[SchemeName.BASE]
+        assert base.counters.lookups \
+            == base.itlb_stats.hits + base.itlb_stats.misses
+
+    def test_fetch_groups_at_most_instructions(self):
+        engine = _engine(schemes=(SchemeName.BASE,))
+        result = engine.run(5000, warmup=1000)
+        assert 0 < result.shared.fetch_groups <= result.shared.instructions
+
+
+class TestPageSizeVariants:
+    @pytest.mark.parametrize("page_bytes", [4096, 16384, 65536])
+    def test_crossings_fall_with_page_size(self, page_bytes):
+        config = default_config().with_page_bytes(page_bytes)
+        program = load_benchmark("177.mesa").link(page_bytes=page_bytes)
+        engine = FastEngine(program, config, schemes=(SchemeName.OPT,))
+        result = engine.run(8000, warmup=2000)
+        rate = result.shared.page_crossings / result.shared.instructions
+        if page_bytes == 4096:
+            TestPageSizeVariants._base_rate = rate
+        else:
+            assert rate <= TestPageSizeVariants._base_rate + 0.002
+
+    def test_opt_lookups_shrink_with_page_size(self):
+        lookups = {}
+        for page_bytes in (4096, 65536):
+            config = default_config().with_page_bytes(page_bytes)
+            program = load_benchmark("177.mesa").link(page_bytes=page_bytes)
+            engine = FastEngine(program, config, schemes=(SchemeName.OPT,))
+            result = engine.run(8000, warmup=2000)
+            lookups[page_bytes] = result.schemes[SchemeName.OPT].lookups
+        assert lookups[65536] < lookups[4096]
+
+
+class TestTwoLevelThroughEngine:
+    def _config(self, serial=True):
+        return default_config().with_two_level_itlb(TwoLevelTLBConfig(
+            level1=TLBConfig(entries=1), level2=TLBConfig(entries=32),
+            serial=serial))
+
+    def test_base_l2_probes_less_than_lookups_serial(self):
+        engine = _engine(config=self._config(), schemes=(SchemeName.BASE,))
+        result = engine.run(6000, warmup=1500)
+        base = result.schemes[SchemeName.BASE].counters
+        assert 0 < base.l2_probes < base.lookups
+
+    def test_energy_attached_for_two_level(self):
+        run = run_all_schemes(load_benchmark("177.mesa"), self._config(),
+                              instructions=6000, warmup=1500,
+                              schemes=(SchemeName.BASE, SchemeName.IA))
+        base = run.scheme(SchemeName.BASE)
+        assert base.energy.total_nj > 0
+        # the 1-entry level-1 makes per-access energy tiny; base two-level
+        # must be far below a monolithic 32-FA base
+        mono = run_all_schemes(load_benchmark("177.mesa"), default_config(),
+                               instructions=6000, warmup=1500,
+                               schemes=(SchemeName.BASE,))
+        assert base.energy.total_nj \
+            < 0.5 * mono.scheme(SchemeName.BASE).energy.total_nj
+
+
+class TestPIPTStalls:
+    def test_base_pays_per_group(self):
+        vipt = _engine(CacheAddressing.VIPT, schemes=(SchemeName.BASE,))
+        r_vipt = vipt.run(6000, warmup=1500)
+        pipt = _engine(CacheAddressing.PIPT, schemes=(SchemeName.BASE,))
+        r_pipt = pipt.run(6000, warmup=1500)
+        extra = (r_pipt.schemes[SchemeName.BASE].cycles
+                 - r_pipt.shared.base_cycles)
+        assert extra == r_pipt.shared.fetch_groups \
+            + r_pipt.schemes[SchemeName.BASE].counters.misses \
+            * default_config().itlb.miss_penalty
+        assert r_pipt.schemes[SchemeName.BASE].cycles \
+            > r_vipt.schemes[SchemeName.BASE].cycles
+
+    def test_ia_pipt_stalls_only_on_lookups(self):
+        engine = _engine(CacheAddressing.PIPT, schemes=(SchemeName.IA,),
+                         instrumented=True)
+        result = engine.run(6000, warmup=1500)
+        ia = result.schemes[SchemeName.IA]
+        # each lookup costs at most 1 serial cycle + a possible miss
+        bound = ia.counters.lookups \
+            + ia.counters.misses * default_config().itlb.miss_penalty
+        assert 0 < ia.extra_cycles <= bound
+
+
+class TestVIVTDetail:
+    def test_deferred_counts_partition_misses(self):
+        run = run_all_schemes(load_benchmark("255.vortex"),
+                              default_config(CacheAddressing.VIVT),
+                              instructions=8000, warmup=2000)
+        misses = run.plain.shared.il1.misses
+        for scheme in (SchemeName.HOA, SchemeName.OPT):
+            counters = run.scheme(scheme).counters
+            assert counters.lookups + counters.deferred_cfr_hits == misses
+
+    def test_vivt_extra_cycles_bounded(self):
+        run = run_all_schemes(load_benchmark("255.vortex"),
+                              default_config(CacheAddressing.VIVT),
+                              instructions=8000, warmup=2000)
+        penalty = default_config().itlb.miss_penalty
+        for scheme in (SchemeName.BASE, SchemeName.OPT, SchemeName.IA):
+            result = run.scheme(scheme)
+            bound = result.counters.lookups * (1 + penalty)
+            assert result.extra_cycles <= bound
+
+
+class TestMicrobenchThroughEngine:
+    def test_straight_line_single_page_no_opt_lookups(self):
+        """A loop inside one page: OPT looks up once and never again."""
+        program = link(microbench.counted_loop(iterations=400, body_len=6))
+        engine = FastEngine(program, default_config(),
+                            schemes=(SchemeName.OPT, SchemeName.HOA))
+        result = engine.run(2500)
+        assert result.schemes[SchemeName.OPT].lookups == 1
+        assert result.schemes[SchemeName.HOA].lookups == 1
+
+    def test_memory_walker_dtlb_misses_scale_with_pages(self):
+        program = link(microbench.memory_walker(words=4096, iterations=1))
+        engine = FastEngine(program, default_config(),
+                            schemes=(SchemeName.BASE,))
+        result = engine.run(20_000)
+        # 4096 words = 4 data pages; plus stack page
+        assert 4 <= result.shared.dtlb.misses <= 8
+
+    def test_call_return_crossings_balanced(self):
+        program = link(microbench.page_ping_pong(pages=3,
+                                                 pad_instructions=1100,
+                                                 iterations=60))
+        engine = FastEngine(program, default_config(),
+                            schemes=(SchemeName.OPT,))
+        result = engine.run(1500)
+        assert result.shared.page_crossings_branch \
+            >= result.shared.page_crossings_boundary

@@ -1,0 +1,294 @@
+"""Experiment harness: every table/figure runs and reproduces the paper's
+*shape* (orderings and trends, not absolute numbers)."""
+
+import pytest
+
+from repro.config import SchemeName
+from repro.experiments import (
+    configuration,
+    fig4,
+    fig5,
+    fig6,
+    sensitivity,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.common import (
+    TableResult,
+    clear_cache,
+    default_settings,
+)
+
+#: small but stable settings shared by all experiment tests
+SETTINGS = default_settings(instructions=20_000, warmup=4_000)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestTable1:
+    def test_all_parameters_match_paper(self):
+        result = configuration.run()
+        assert all(row["matches paper"] == "yes" for row in result.rows)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(SETTINGS)
+
+    def test_six_rows(self, result):
+        assert len(result.rows) == 6
+
+    def test_vipt_base_energy_tracks_instruction_count(self, result):
+        # base VI-PT energy ~ N * E_a(32FA): at 250M-scale ~108 mJ
+        for row in result.rows:
+            assert 95 < row["iTLB E VI-PT (mJ)"] < 125
+
+    def test_vivt_energy_far_below_vipt(self, result):
+        for row in result.rows:
+            assert row["iTLB E VI-VT (mJ)"] < 0.2 * row["iTLB E VI-PT (mJ)"]
+
+    def test_branch_crossings_dominate(self, result):
+        for row in result.rows:
+            assert row["BRANCH"] > row["BOUNDARY"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(SETTINGS)
+
+    def _averages(self, result, panel):
+        row = next(r for r in result.rows
+                   if r["iL1"] == panel and r["benchmark"] == "average")
+        return row
+
+    def test_vipt_headline_saving(self, result):
+        avg = self._averages(result, "vi-pt")
+        assert avg["ia"] < 15.0  # > 85% saving, the paper's headline
+        assert avg["opt"] < avg["ia"]
+
+    def test_vipt_scheme_ordering(self, result):
+        avg = self._averages(result, "vi-pt")
+        assert avg["opt"] <= avg["sola"] <= avg["soca"]
+        assert avg["opt"] <= avg["ia"] <= avg["soca"]
+        assert avg["hoa"] < avg["soca"]
+
+    def test_hoa_above_opt_by_comparator(self, result):
+        avg = self._averages(result, "vi-pt")
+        assert avg["hoa"] > avg["opt"] + 1.0
+
+    def test_vivt_all_below_base(self, result):
+        avg = self._averages(result, "vi-vt")
+        for scheme in ("hoa", "soca", "sola", "ia", "opt"):
+            assert avg[scheme] < 100.0
+
+    def test_vivt_ordering(self, result):
+        avg = self._averages(result, "vi-vt")
+        assert avg["opt"] <= avg["hoa"] + 3.0
+        assert avg["sola"] <= avg["soca"]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(SETTINGS)
+
+    def test_vivt_schemes_do_not_slow_down(self, result):
+        avg = result.row_for("benchmark", "average")
+        for scheme in ("hoa", "soca", "sola", "ia", "opt"):
+            assert avg[scheme] <= 100.5
+
+    def test_vipt_cycles_unchanged(self, result):
+        avg = result.row_for("benchmark", "average")
+        assert avg["vi-pt ia (check)"] == pytest.approx(100.0, abs=1.0)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(SETTINGS)
+
+    def test_soca_tracks_branches(self, result):
+        for row in result.rows:
+            total = row["soca BOUNDARY"] + row["soca BRANCH"]
+            assert total == pytest.approx(row["dynamic branches"], rel=0.02)
+
+    def test_lookup_ordering(self, result):
+        for row in result.rows:
+            soca = row["soca BOUNDARY"] + row["soca BRANCH"]
+            sola = row["sola BOUNDARY"] + row["sola BRANCH"]
+            ia = row["ia BOUNDARY"] + row["ia BRANCH"]
+            assert soca >= sola
+            assert soca >= ia
+
+    def test_boundary_identical_across_schemes(self, result):
+        for row in result.rows:
+            assert row["soca BOUNDARY"] == row["sola BOUNDARY"]
+            assert row["soca BOUNDARY"] == row["ia BOUNDARY"]
+
+    def test_branch_dominates(self, result):
+        for row in result.rows:
+            assert row["soca BRANCH %"] > 85.0
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run(SETTINGS)
+
+    def test_analyzable_majority(self, result):
+        for row in result.rows:
+            assert row["dyn analyzable %"] > 60.0
+
+    def test_in_page_majority(self, result):
+        for row in result.rows:
+            assert row["dyn in-page %"] > 50.0
+
+    def test_static_counts_positive(self, result):
+        for row in result.rows:
+            assert 0 < row["static analyzable"] <= row["static total"]
+
+
+class TestTable5:
+    def test_accuracies_in_band(self):
+        result = table5.run(SETTINGS)
+        for row in result.rows:
+            assert 80.0 < row["accuracy %"] < 99.5
+            assert abs(row["accuracy %"] - row["paper %"]) < 6.0
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        small = default_settings(instructions=12_000, warmup=3_000,
+                                 benchmarks=("177.mesa", "255.vortex"))
+        return table6.run(small)
+
+    def test_energy_base_grows_with_tlb_size(self, result):
+        mesa = [r for r in result.rows if r["benchmark"] == "mesa"]
+        by_label = {r["iTLB"]: r for r in mesa}
+        assert by_label["1"]["E vipt base (mJ)"] \
+            < by_label["8,FA"]["E vipt base (mJ)"]
+        assert by_label["16,2w"]["E vipt base (mJ)"] \
+            > by_label["32,FA"]["E vipt base (mJ)"]  # the CACTI quirk
+
+    def test_ia_relative_saving_improves_with_tlb_size(self, result):
+        mesa = {r["iTLB"]: r for r in result.rows
+                if r["benchmark"] == "mesa"}
+        assert mesa["32,FA"]["E vipt ia %"] < mesa["1"]["E vipt ia %"]
+
+    def test_opt_leq_ia_everywhere(self, result):
+        for row in result.rows:
+            assert row["E vipt opt %"] <= row["E vipt ia %"] + 0.5
+
+    def test_vivt_cycles_base_worst_at_one_entry(self, result):
+        vortex = {r["iTLB"]: r for r in result.rows
+                  if r["benchmark"] == "vortex"}
+        assert vortex["1"]["C vivt base (M)"] \
+            > vortex["32,FA"]["C vivt base (M)"]
+
+
+class TestTable7:
+    def test_cycles_fall_with_tlb_size(self):
+        small = default_settings(instructions=12_000, warmup=3_000,
+                                 benchmarks=("177.mesa",))
+        result = table7.run(small)
+        row = result.rows[0]
+        assert row["C 1 (M)"] > row["C 8,FA (M)"] * 1.5
+        assert row["C 8,FA (M)"] >= row["C 32,FA (M)"] - 1e-6
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        small = default_settings(instructions=12_000, warmup=3_000,
+                                 benchmarks=("177.mesa",))
+        return fig6.run(small)
+
+    def test_two_level_base_costs_more_energy(self, result):
+        for row in result.rows:
+            if row["benchmark"] == "average":
+                assert row["energy % of mono-IA"] > 110.0
+
+    def test_parallel_worse_than_serial(self, result):
+        serial = next(r for r in result.rows
+                      if r["mode"] == "serial"
+                      and r["benchmark"] == "average"
+                      and r["config"].startswith("1+32"))
+        parallel = next(r for r in result.rows
+                        if r["mode"] == "parallel"
+                        and r["benchmark"] == "average"
+                        and r["config"].startswith("1+32"))
+        assert parallel["energy % of mono-IA"] \
+            > serial["energy % of mono-IA"]
+
+    def test_mono_ia_cycles_not_worse(self, result):
+        for row in result.rows:
+            assert row["cycles % of mono-IA"] >= 99.0
+
+
+class TestTable8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        small = default_settings(instructions=12_000, warmup=3_000,
+                                 benchmarks=("177.mesa", "255.vortex"))
+        return table8.run(small)
+
+    def test_pipt_base_slowest(self, result):
+        for row in result.rows:
+            assert row["C pipt"] > row["C vipt"]
+
+    def test_ia_rescues_pipt_cycles(self, result):
+        for row in result.rows:
+            assert row["C pipt+ia"] < row["C pipt"]
+            assert row["C pipt+ia / C vipt"] < 1.15
+
+    def test_ia_rescues_pipt_energy(self, result):
+        for row in result.rows:
+            assert row["E pipt+ia"] < 0.1 * row["E pipt"]
+
+    def test_paper_reference_table_renders(self):
+        ref = table8.paper_reference()
+        assert len(ref.rows) == 6
+
+
+class TestSensitivity:
+    def test_page_size_monotone(self):
+        small = default_settings(instructions=12_000, warmup=3_000,
+                                 benchmarks=("177.mesa",))
+        result = sensitivity.run_page_size(small)
+        crossings = [row["page crossings/kinst"] for row in result.rows]
+        assert crossings[0] > crossings[-1]  # 4KB vs 64KB
+        ia = [row["ia energy % of base"] for row in result.rows]
+        assert ia[-1] < ia[0] + 0.5
+
+    def test_il1_sweep_runs(self):
+        small = default_settings(instructions=10_000, warmup=2_000,
+                                 benchmarks=("177.mesa",))
+        result = sensitivity.run_il1(small)
+        assert len(result.rows) == 4 * 2  # 4 geometries x (1 bench + avg)
+
+
+class TestTableResult:
+    def test_render_and_markdown(self):
+        result = TableResult("T", "demo", ["a", "b"])
+        result.add_row(a=1, b=2.5)
+        text = result.render()
+        assert "demo" in text and "2.5" in text
+        md = result.to_markdown()
+        assert md.count("|") > 4
+
+    def test_row_for_missing_key(self):
+        result = TableResult("T", "demo", ["a"])
+        with pytest.raises(KeyError):
+            result.row_for("a", "nope")

@@ -1,0 +1,123 @@
+"""End-to-end integration: the paper's headline claims across the whole
+suite, plus report plumbing."""
+
+import pytest
+
+from repro.config import CacheAddressing, SchemeName, default_config
+from repro.experiments.common import TableResult, default_settings
+from repro.experiments.report import ALL_EXPERIMENTS, EXPERIMENT_BY_NAME
+from repro.sim.multi import run_all_schemes
+from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+
+_RUNS = {}
+
+
+def _vipt_run(bench):
+    if bench not in _RUNS:
+        _RUNS[bench] = run_all_schemes(
+            load_benchmark(bench), default_config(CacheAddressing.VIPT),
+            instructions=12_000, warmup=3_000)
+    return _RUNS[bench]
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+class TestHeadlineClaimsPerBenchmark:
+    """The abstract's claims, one benchmark at a time."""
+
+    def test_ia_saves_more_than_85_percent(self, bench):
+        run = _vipt_run(bench)
+        assert run.normalized_energy(SchemeName.IA) < 0.15
+
+    def test_ia_no_performance_loss(self, bench):
+        run = _vipt_run(bench)
+        assert run.normalized_cycles(SchemeName.IA) < 1.01
+
+    def test_every_scheme_beats_base(self, bench):
+        run = _vipt_run(bench)
+        for scheme in (SchemeName.HOA, SchemeName.SOCA, SchemeName.SOLA,
+                       SchemeName.IA, SchemeName.OPT):
+            assert run.normalized_energy(scheme) < 0.7
+
+    def test_opt_is_the_floor(self, bench):
+        run = _vipt_run(bench)
+        opt = run.normalized_energy(SchemeName.OPT)
+        for scheme in (SchemeName.HOA, SchemeName.SOCA, SchemeName.SOLA):
+            assert run.normalized_energy(scheme) >= opt - 1e-9
+
+    def test_instrumentation_overhead_negligible(self, bench):
+        run = _vipt_run(bench)
+        assert run.boundary_overhead_fraction < 0.02
+
+    def test_hoa_equals_opt_lookups(self, bench):
+        run = _vipt_run(bench)
+        assert run.scheme(SchemeName.HOA).lookups \
+            == run.scheme(SchemeName.OPT).lookups
+
+
+class TestReportPlumbing:
+    def test_all_experiments_registered(self):
+        names = [name for name, _ in ALL_EXPERIMENTS]
+        assert names[0] == "table1"
+        assert "fig4" in names and "table8" in names
+        assert len(names) == len(set(names)) == 14
+
+    def test_experiment_by_name_resolves(self):
+        assert EXPERIMENT_BY_NAME["table1"] is ALL_EXPERIMENTS[0][1]
+
+    def test_table_result_markdown_escaping(self):
+        result = TableResult("X", "t", ["a"], notes=["n1", "n2"])
+        result.add_row(a=0.123456)
+        md = result.to_markdown()
+        assert "0.1235" in md
+        assert md.count("*n") == 2
+
+    def test_settings_scale(self):
+        settings = default_settings(instructions=25_000)
+        assert settings.paper_scale == pytest.approx(10_000)
+        assert settings.warmup == 25_000 // 6
+
+    def test_custom_benchmark_subset(self):
+        settings = default_settings(benchmarks=["177.mesa"])
+        assert settings.benchmarks == ("177.mesa",)
+
+
+class TestCrossAddressingConsistency:
+    """One benchmark, all three disciplines: relative facts that must
+    hold regardless of calibration."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        bench = load_benchmark("186.crafty")
+        return {
+            addr: run_all_schemes(bench, default_config(addr),
+                                  instructions=10_000, warmup=2_500)
+            for addr in CacheAddressing
+        }
+
+    def test_identical_architectural_stream(self, runs):
+        counts = {addr: run.plain.shared.dynamic_branches
+                  for addr, run in runs.items()}
+        assert len(set(counts.values())) == 1
+
+    def test_vivt_base_energy_is_least(self, runs):
+        energies = {addr: run.scheme(SchemeName.BASE).energy.total_nj
+                    for addr, run in runs.items()}
+        assert energies[CacheAddressing.VIVT] \
+            < 0.5 * energies[CacheAddressing.VIPT]
+
+    def test_pipt_base_cycles_worst(self, runs):
+        cycles = {addr: run.scheme(SchemeName.BASE).cycles
+                  for addr, run in runs.items()}
+        assert cycles[CacheAddressing.PIPT] > cycles[CacheAddressing.VIPT]
+        assert cycles[CacheAddressing.PIPT] > cycles[CacheAddressing.VIVT]
+
+    def test_ia_makes_pipt_competitive(self, runs):
+        pipt_ia = runs[CacheAddressing.PIPT].scheme(SchemeName.IA).cycles
+        vipt_base = runs[CacheAddressing.VIPT].scheme(SchemeName.BASE).cycles
+        assert pipt_ia < 1.15 * vipt_base
+
+    def test_ia_energy_similar_across_vipt_pipt(self, runs):
+        vipt = runs[CacheAddressing.VIPT].scheme(SchemeName.IA)
+        pipt = runs[CacheAddressing.PIPT].scheme(SchemeName.IA)
+        assert pipt.energy.total_nj \
+            == pytest.approx(vipt.energy.total_nj, rel=0.35)

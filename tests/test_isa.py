@@ -1,0 +1,269 @@
+"""ISA layer: instruction metadata, encoding round-trips, assembler,
+linker layout, and the boundary-branch invariant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError, LayoutError, MemoryFault
+from repro.isa.assembler import Assembler, link
+from repro.isa.instructions import (
+    ANALYZABLE_KINDS,
+    CONTROL_KINDS,
+    Instruction,
+    InstrKind,
+    Opcode,
+    decode,
+    encode,
+)
+from repro.isa.program import TEXT_BASE
+from repro.isa.registers import REG_RA, REG_ZERO, reg_name, temp_regs
+from repro.workloads import microbench
+
+
+class TestOpcodeMetadata:
+    def test_branches_are_analyzable_control(self):
+        for op in (Opcode.BEQ, Opcode.BNE, Opcode.J, Opcode.JAL):
+            assert op.is_control and op.is_analyzable_control
+
+    def test_indirect_not_analyzable(self):
+        for op in (Opcode.JR, Opcode.JALR):
+            assert op.is_control and not op.is_analyzable_control
+
+    def test_unconditional_kinds(self):
+        assert Opcode.J.is_unconditional
+        assert Opcode.JAL.is_unconditional
+        assert not Opcode.BEQ.is_unconditional
+
+    def test_latencies_ordered(self):
+        assert Opcode.ADD.latency < Opcode.MUL.latency < Opcode.DIV.latency
+
+    def test_kind_code_precomputed(self):
+        instr = Instruction(Opcode.LW, rd=1, rs=2, imm=4)
+        assert instr.kind_code == int(InstrKind.LOAD)
+
+    def test_control_kind_partition(self):
+        assert ANALYZABLE_KINDS < CONTROL_KINDS
+
+
+class TestRegisters:
+    def test_names(self):
+        assert reg_name(0) == "zero"
+        assert reg_name(REG_RA) == "ra"
+        assert reg_name(3, fp=True) == "f3"
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+
+    def test_temp_regs_disjoint_from_zero(self):
+        assert 0 not in temp_regs()
+
+
+class TestEncoding:
+    def _roundtrip(self, instr: Instruction) -> Instruction:
+        return decode(encode(instr), instr.address)
+
+    def test_rtype_roundtrip(self):
+        instr = Instruction(Opcode.ADD, rd=3, rs=4, rt=5, address=0x400000)
+        out = self._roundtrip(instr)
+        assert (out.op, out.rd, out.rs, out.rt) == (Opcode.ADD, 3, 4, 5)
+
+    def test_itype_negative_imm(self):
+        instr = Instruction(Opcode.ADDI, rd=2, rs=2, imm=-7, address=0x400000)
+        assert self._roundtrip(instr).imm == -7
+
+    def test_branch_roundtrip_with_hint(self):
+        instr = Instruction(Opcode.BNE, rs=1, rt=2, target=0x400100,
+                            inpage_hint=True, address=0x400000)
+        out = self._roundtrip(instr)
+        assert out.target == 0x400100
+        assert out.inpage_hint
+
+    def test_jump_roundtrip(self):
+        instr = Instruction(Opcode.JAL, target=0x0048_0000, address=0x400000)
+        assert self._roundtrip(instr).target == 0x0048_0000
+
+    def test_unlinked_branch_rejected(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction(Opcode.BEQ, rs=1, rt=2))
+
+    def test_branch_out_of_encoding_range(self):
+        instr = Instruction(Opcode.BNE, rs=1, rt=2,
+                            target=0x400000 + (1 << 20), address=0x400000)
+        with pytest.raises(AssemblyError):
+            encode(instr)
+
+    @given(rd=st.integers(0, 31), rs=st.integers(0, 31),
+           imm=st.integers(-(1 << 15), (1 << 15) - 1))
+    @settings(max_examples=60)
+    def test_itype_roundtrip_property(self, rd, rs, imm):
+        instr = Instruction(Opcode.XORI, rd=rd, rs=rs, imm=imm,
+                            address=0x400000)
+        out = decode(encode(instr), 0x400000)
+        assert (out.rd, out.rs, out.imm) == (rd, rs, imm)
+
+    @given(off_words=st.integers(-(1 << 14) + 1, (1 << 14) - 1),
+           hint=st.booleans())
+    @settings(max_examples=60)
+    def test_branch_offset_roundtrip_property(self, off_words, hint):
+        pc = 0x0100_0000
+        instr = Instruction(Opcode.BLT, rs=3, rt=4,
+                            target=pc + 4 + 4 * off_words,
+                            inpage_hint=hint, address=pc)
+        out = decode(encode(instr), pc)
+        assert out.target == instr.target
+        assert out.inpage_hint == hint
+
+
+class TestAssemblerAndLinker:
+    def test_forward_and_backward_labels(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.j("end")
+        asm.label("mid")
+        asm.addi(1, 0, 1)
+        asm.label("end")
+        asm.j("mid")
+        program = link(asm.module)
+        assert program.labels["main"] == TEXT_BASE
+        assert program.instructions[0].target == program.labels["end"]
+        assert program.instructions[-1].target == program.labels["mid"]
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("a")
+        asm.nop()
+        asm.label("a")
+        asm.nop()
+        with pytest.raises(AssemblyError):
+            link(asm.module)
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.j("nowhere")
+        with pytest.raises(AssemblyError):
+            link(asm.module)
+
+    def test_branch_range_enforced(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.label("top")
+        for _ in range(20000):
+            asm.nop()
+        asm.bne(1, 2, "top")
+        with pytest.raises(AssemblyError):
+            link(asm.module)
+
+    def test_li_small_is_one_instruction(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.li(5, 100)
+        assert asm.module.instruction_count == 1
+
+    def test_li_large_expands(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.li(5, 0x12345678)
+        assert asm.module.instruction_count == 2
+
+    def test_data_labels_resolved(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.label("target")
+        asm.nop()
+        asm.data_words("table", ["target", 42])
+        program = link(asm.module)
+        table = program.labels["table"]
+        assert program.data_words[table] == program.labels["target"]
+        assert program.data_words[table + 4] == 42
+
+    def test_data_label_undefined(self):
+        asm = Assembler()
+        asm.label("main")
+        asm.nop()
+        asm.data_words("table", ["missing"])
+        with pytest.raises(AssemblyError):
+            link(asm.module)
+
+    def test_entry_defaults_to_main(self):
+        asm = Assembler()
+        asm.nop()
+        asm.label("main")
+        asm.nop()
+        program = link(asm.module)
+        assert program.entry == program.labels["main"]
+
+
+class TestBoundaryInstrumentation:
+    def _big_module(self, n=3000):
+        asm = Assembler()
+        asm.label("main")
+        for i in range(n):
+            asm.addi(1, 1, 1)
+        asm.halt()
+        return asm.module
+
+    def test_boundary_branches_inserted(self):
+        program = link(self._big_module(), boundary_branches=True)
+        assert program.instrumented
+        assert program.boundary_branch_count >= 2
+
+    def test_boundary_invariant_validated(self):
+        program = link(self._big_module(), boundary_branches=True)
+        page = program.page_bytes
+        for instr in program.instructions:
+            if instr.is_boundary_branch:
+                assert instr.address % page == page - 4
+                assert instr.target == instr.address + 4
+
+    def test_plain_binary_has_no_boundary_branches(self):
+        program = link(self._big_module(), boundary_branches=False)
+        assert program.boundary_branch_count == 0
+        assert not program.instrumented
+
+    def test_labels_bind_past_boundary_branch(self):
+        # a label landing exactly on a page-end slot must bind to the real
+        # instruction (pushed past the boundary branch), not the branch
+        asm = Assembler()
+        asm.label("main")
+        for _ in range(1023):
+            asm.nop()
+        asm.label("landing")
+        asm.addi(1, 0, 7)
+        asm.j("landing")
+        program = link(asm.module, boundary_branches=True)
+        landing = program.labels["landing"]
+        instr = program.fetch(landing)
+        assert instr.op is Opcode.ADDI
+
+    def test_program_fetch_bounds(self):
+        program = link(self._big_module())
+        with pytest.raises(MemoryFault):
+            program.fetch(program.text_base - 4)
+        with pytest.raises(MemoryFault):
+            program.fetch(program.text_end)
+
+    def test_validate_rejects_corrupt_addresses(self):
+        program = link(self._big_module())
+        program.instructions[5].address += 4
+        with pytest.raises(LayoutError):
+            program.validate()
+
+
+class TestMicrobenchModules:
+    @pytest.mark.parametrize("builder", [
+        microbench.counted_loop,
+        microbench.page_ping_pong,
+        microbench.straight_line,
+        microbench.call_return,
+        microbench.memory_walker,
+        microbench.taken_pattern,
+    ])
+    def test_links_both_ways(self, builder):
+        module = builder()
+        plain = link(module, boundary_branches=False)
+        instr = link(module, boundary_branches=True)
+        assert len(instr) >= len(plain)
+        plain.validate()
+        instr.validate()

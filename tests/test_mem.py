@@ -1,0 +1,182 @@
+"""Memory hierarchy: cache behaviour (vs a reference model), addressing
+disciplines, latency accounting, DRAM banking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheAddressing, CacheConfig, default_config
+from repro.mem.addressing import (
+    addressing_pair,
+    needs_translation_before_index,
+    needs_translation_for_hit,
+    needs_translation_on_miss_only,
+)
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAM
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def _small_cache(assoc=2, sets=4, block=32):
+    return Cache(CacheConfig("t", size_bytes=assoc * sets * block,
+                             assoc=assoc, block_bytes=block, hit_latency=1))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = _small_cache()
+        assert not cache.access(0x1000, 0x1000).hit
+        assert cache.access(0x1000, 0x1000).hit
+
+    def test_same_block_offsets_hit(self):
+        cache = _small_cache()
+        cache.access(0x1000, 0x1000)
+        assert cache.access(0x101C, 0x101C).hit
+
+    def test_lru_within_set(self):
+        cache = _small_cache(assoc=2, sets=1, block=32)
+        cache.access(0x0, 0x0)
+        cache.access(0x20, 0x20)
+        cache.access(0x0, 0x0)  # 0x20 is now LRU
+        cache.access(0x40, 0x40)  # evicts 0x20
+        assert cache.probe(0x0, 0x0)
+        assert not cache.probe(0x20, 0x20)
+
+    def test_dirty_victim_reports_writeback(self):
+        cache = _small_cache(assoc=1, sets=1, block=32)
+        cache.access(0x0, 0x0, write=True)
+        result = cache.access(0x20, 0x20)
+        assert result.writeback_pa == 0x0
+
+    def test_clean_victim_no_writeback(self):
+        cache = _small_cache(assoc=1, sets=1, block=32)
+        cache.access(0x0, 0x0)
+        assert cache.access(0x20, 0x20).writeback_pa is None
+
+    def test_split_index_tag(self):
+        """VI-PT style: index by one address, tag by another."""
+        cache = _small_cache()
+        cache.access(0x1000, 0x9000, pa_block=0x9000)
+        assert cache.access(0x1000, 0x9000).hit
+        # same index, different physical tag: miss
+        assert not cache.access(0x1000, 0xA000).hit
+
+    def test_writeback_uses_physical_block(self):
+        cache = _small_cache(assoc=1, sets=1, block=32)
+        cache.access(0x0, 0x5000, write=True, pa_block=0x5000)
+        result = cache.access(0x40, 0x6000, pa_block=0x6000)
+        assert result.writeback_pa == 0x5000
+
+    def test_invalidate_all_counts_dirty(self):
+        cache = _small_cache()
+        cache.access(0x0, 0x0, write=True)
+        cache.access(0x40, 0x40)
+        assert cache.invalidate_all() == 1
+        assert cache.occupancy == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 16), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_matches_reference_model(self, ops):
+        """Direct-mapped cache vs a dict-based reference."""
+        block = 32
+        sets = 4
+        cache = Cache(CacheConfig("t", size_bytes=sets * block, assoc=1,
+                                  block_bytes=block, hit_latency=1))
+        reference = {}
+        for block_id, write in ops:
+            addr = block_id * block
+            set_index = block_id % sets
+            expected_hit = reference.get(set_index) == block_id
+            result = cache.access(addr, addr, write=write)
+            assert result.hit == expected_hit
+            reference[set_index] = block_id
+        assert cache.stats.accesses == len(ops)
+
+
+class TestAddressing:
+    def test_pairs(self):
+        assert addressing_pair(CacheAddressing.VIVT, 1, 2) == (1, 1)
+        assert addressing_pair(CacheAddressing.VIPT, 1, 2) == (1, 2)
+        assert addressing_pair(CacheAddressing.PIPT, 1, 2) == (2, 2)
+
+    def test_translation_requirements(self):
+        assert needs_translation_before_index(CacheAddressing.PIPT)
+        assert not needs_translation_before_index(CacheAddressing.VIPT)
+        assert needs_translation_for_hit(CacheAddressing.VIPT)
+        assert needs_translation_on_miss_only(CacheAddressing.VIVT)
+
+
+class TestHierarchy:
+    def _hier(self, addressing=CacheAddressing.VIPT):
+        return MemoryHierarchy(default_config(addressing).mem)
+
+    def test_il1_hit_latency(self):
+        hier = self._hier()
+        hier.fetch(0x400000, 0x9000)
+        outcome = hier.fetch(0x400000, 0x9000)
+        assert outcome.il1_hit and outcome.latency == 1
+
+    def test_l2_hit_latency(self):
+        hier = self._hier()
+        hier.fetch(0x400000, 0x9000)  # fills L2 and iL1
+        # evict from iL1 by an index-conflicting line (8KB direct mapped)
+        hier.fetch(0x400000 + 8192, 0x9000 + 8192)
+        outcome = hier.fetch(0x400000, 0x9000)
+        assert not outcome.il1_hit and outcome.l2_hit
+        assert outcome.latency == 1 + 10
+
+    def test_dram_latency_on_cold_miss(self):
+        hier = self._hier()
+        outcome = hier.fetch(0x400000, 0x9000)
+        assert not outcome.l2_hit
+        assert outcome.latency >= 1 + 10 + 100
+
+    def test_data_write_allocate(self):
+        hier = self._hier()
+        hier.data(0x10000000, 0x7000, write=True)
+        outcome = hier.data(0x10000000, 0x7000, write=False)
+        assert outcome.dl1_hit
+
+    def test_vivt_hit_ignores_physical(self):
+        hier = self._hier(CacheAddressing.VIVT)
+        hier.fetch(0x400000, 0x9000)
+        # same VA, absurd PA: still a VI-VT hit
+        outcome = hier.fetch(0x400000, 0xFFFF000)
+        assert outcome.il1_hit
+
+    def test_pipt_conflicts_differ_from_vipt(self):
+        """Two VAs conflicting virtually but not physically: PI-PT keeps
+        both resident, VI-PT (virtual index) evicts."""
+        va1, va2 = 0x400000, 0x400000 + 8192
+        pa1, pa2 = 0x10000, 0x10000 + 4096  # different iL1 sets physically
+        vipt = self._hier(CacheAddressing.VIPT)
+        vipt.fetch(va1, pa1)
+        vipt.fetch(va2, pa2)
+        assert not vipt.fetch(va1, pa1).il1_hit  # evicted (same v-index)
+        pipt = self._hier(CacheAddressing.PIPT)
+        pipt.fetch(va1, pa1)
+        pipt.fetch(va2, pa2)
+        assert pipt.fetch(va1, pa1).il1_hit  # different p-index: resident
+
+    def test_reset_stats(self):
+        hier = self._hier()
+        hier.fetch(0x400000, 0x9000)
+        hier.reset_stats()
+        assert hier.il1.stats.accesses == 0
+
+
+class TestDRAM:
+    def test_fixed_latency(self):
+        dram = DRAM(latency=100, banks=4)
+        assert dram.access(0x0) == 100
+
+    def test_bank_conflict_penalty(self):
+        dram = DRAM(latency=100, banks=4)
+        dram.access(0x0)
+        assert dram.access(0x40) == 100 + DRAM.BANK_CONFLICT_PENALTY
+        assert dram.stats.bank_conflicts == 1
+
+    def test_different_banks_no_penalty(self):
+        dram = DRAM(latency=100, banks=4)
+        dram.access(0x0)
+        assert dram.access(32 * 1024 * 1024) == 100

@@ -1,0 +1,252 @@
+"""Virtual memory: page table, TLBs (vs a reference model), OS model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import FULL_ASSOC, TLBConfig, TwoLevelTLBConfig
+from repro.errors import MemoryFault, ProtectionFault
+from repro.isa.assembler import Assembler, link
+from repro.vm.os_model import AddressSpace, OSModel, SavedContext
+from repro.vm.page_table import PageTable, Protection
+from repro.vm.tlb import TLB, TwoLevelTLB
+
+
+def _tiny_program():
+    asm = Assembler()
+    asm.label("main")
+    asm.nop()
+    asm.halt()
+    asm.data_words("d", [1, 2, 3])
+    return link(asm.module)
+
+
+class TestPageTable:
+    def test_demand_allocation(self):
+        table = PageTable(4096)
+        pte = table.translate(10, prot=Protection.READ)
+        assert pte.vpn == 10
+        assert 10 in table
+
+    def test_frames_unique(self):
+        table = PageTable(4096)
+        frames = {table.translate(v, prot=Protection.READ).pfn
+                  for v in range(200)}
+        assert len(frames) == 200
+
+    def test_mapping_not_identity(self):
+        table = PageTable(4096)
+        pfns = [table.translate(v, prot=Protection.READ).pfn
+                for v in range(32)]
+        assert pfns != list(range(32))
+
+    def test_deterministic_per_asid(self):
+        a = PageTable(4096, asid=1)
+        b = PageTable(4096, asid=1)
+        c = PageTable(4096, asid=2)
+        pa = [a.translate(v, prot=Protection.READ).pfn for v in range(16)]
+        pb = [b.translate(v, prot=Protection.READ).pfn for v in range(16)]
+        pc = [c.translate(v, prot=Protection.READ).pfn for v in range(16)]
+        assert pa == pb
+        assert pa != pc
+
+    def test_protection_fault(self):
+        table = PageTable(4096)
+        table.map_page(5, Protection.READ)
+        with pytest.raises(ProtectionFault):
+            table.translate(5, prot=Protection.WRITE)
+
+    def test_unmapped_without_allocate(self):
+        table = PageTable(4096)
+        with pytest.raises(MemoryFault):
+            table.translate(7, prot=Protection.READ, allocate=False)
+
+    def test_pinned_page_cannot_unmap(self):
+        table = PageTable(4096)
+        table.map_page(3, Protection.RX)
+        table.pin(3)
+        with pytest.raises(MemoryFault):
+            table.unmap_page(3)
+        table.pin(3, False)
+        table.unmap_page(3)
+        assert 3 not in table
+
+    def test_remap_changes_frame(self):
+        table = PageTable(4096)
+        old = table.map_page(4, Protection.RW).pfn
+        new = table.remap_page(4).pfn
+        assert new != old
+
+    def test_write_sets_dirty(self):
+        table = PageTable(4096)
+        pte = table.translate(9, prot=Protection.WRITE)
+        assert pte.dirty and pte.referenced
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBConfig(entries=4))
+        assert tlb.access(1) is None
+        tlb.fill(1, 100)
+        assert tlb.access(1) == (100, Protection.RWX)
+        assert tlb.stats.misses == 1 and tlb.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        tlb = TLB(TLBConfig(entries=2))
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        tlb.access(1)  # 2 becomes LRU
+        victim = tlb.fill(3, 30)
+        assert victim == 2
+        assert 1 in tlb and 3 in tlb and 2 not in tlb
+
+    def test_set_associative_indexing(self):
+        tlb = TLB(TLBConfig(entries=16, assoc=2))
+        # vpns 0 and 8 share set 0 (8 sets); a third evicts LRU
+        tlb.fill(0, 1)
+        tlb.fill(8, 2)
+        tlb.fill(16, 3)
+        assert 0 not in tlb
+        assert 8 in tlb and 16 in tlb
+
+    def test_one_entry_tlb(self):
+        tlb = TLB(TLBConfig(entries=1))
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        assert 1 not in tlb and 2 in tlb
+
+    def test_translate_refills_from_page_table(self):
+        table = PageTable(4096)
+        tlb = TLB(TLBConfig(entries=4))
+        pfn, hit = tlb.translate(5, table)
+        assert not hit
+        pfn2, hit2 = tlb.translate(5, table)
+        assert hit2 and pfn2 == pfn
+
+    def test_invalidate_and_flush(self):
+        tlb = TLB(TLBConfig(entries=4))
+        tlb.fill(1, 10)
+        assert tlb.invalidate(1)
+        assert not tlb.invalidate(1)
+        tlb.fill(2, 20)
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_matches_reference_lru_model(self, vpns):
+        """A fully-associative TLB must behave exactly like an LRU dict."""
+        tlb = TLB(TLBConfig(entries=4))
+        reference: list = []  # most recent last
+        for vpn in vpns:
+            hit = tlb.access(vpn) is not None
+            ref_hit = vpn in reference
+            assert hit == ref_hit
+            if ref_hit:
+                reference.remove(vpn)
+            else:
+                tlb.fill(vpn, vpn + 1000)
+                if len(reference) == 4:
+                    reference.pop(0)
+            reference.append(vpn)
+        assert sorted(tlb.resident_vpns()) == sorted(reference)
+
+
+class TestTwoLevelTLB:
+    def _cfg(self, serial=True):
+        return TwoLevelTLBConfig(level1=TLBConfig(entries=1),
+                                 level2=TLBConfig(entries=8),
+                                 serial=serial)
+
+    def test_serial_l2_probe_only_on_l1_miss(self):
+        table = PageTable(4096)
+        tlb = TwoLevelTLB(self._cfg())
+        tlb.translate(1, table)  # full miss: probes both, walks
+        assert tlb.last_probes == (1, 1)
+        tlb.translate(1, table)  # L1 hit
+        assert tlb.last_probes == (1, 0)
+        assert tlb.last_extra_latency == 0
+
+    def test_l2_hit_after_l1_eviction(self):
+        table = PageTable(4096)
+        tlb = TwoLevelTLB(self._cfg())
+        tlb.translate(1, table)
+        tlb.translate(2, table)  # evicts 1 from the 1-entry L1
+        pfn, hit = tlb.translate(1, table)
+        assert hit
+        assert tlb.last_probes == (1, 1)
+        assert tlb.last_extra_latency == 1
+
+    def test_parallel_probes_both_always(self):
+        table = PageTable(4096)
+        tlb = TwoLevelTLB(self._cfg(serial=False))
+        tlb.translate(1, table)
+        tlb.translate(1, table)
+        assert tlb.last_probes == (1, 1)
+        assert tlb.last_extra_latency == 0
+
+    def test_combined_stats_count_walks(self):
+        table = PageTable(4096)
+        tlb = TwoLevelTLB(self._cfg())
+        for vpn in range(4):
+            tlb.translate(vpn, table)
+        assert tlb.stats.misses == 4
+        tlb.translate(3, table)
+        assert tlb.stats.misses == 4
+
+
+class TestAddressSpaceAndOS:
+    def test_text_premapped_executable(self):
+        space = AddressSpace(_tiny_program())
+        pa = space.translate_fetch(space.program.entry)
+        assert pa != space.program.entry  # non-identity mapping
+
+    def test_data_initialized(self):
+        space = AddressSpace(_tiny_program())
+        base = space.program.labels["d"]
+        assert space.load_word(base + 4) == 2
+
+    def test_store_load_roundtrip(self):
+        space = AddressSpace(_tiny_program())
+        space.store_word(0x2000_0000, 0xDEADBEEF)
+        assert space.load_word(0x2000_0000) == 0xDEADBEEF
+
+    def test_misaligned_access_faults(self):
+        space = AddressSpace(_tiny_program())
+        with pytest.raises(MemoryFault):
+            space.load_word(0x2000_0002)
+
+    def test_cfr_invalidate_hook_fires_on_eviction(self):
+        space = AddressSpace(_tiny_program())
+        os_model = OSModel(space)
+        fired = []
+        os_model.register_cfr_invalidate_hook(lambda: fired.append(1))
+        vpn = space.program.entry >> 12
+        os_model.pin_cfr_page(vpn)
+        os_model.evict_page(vpn)
+        assert fired
+
+    def test_eviction_of_other_page_keeps_cfr(self):
+        space = AddressSpace(_tiny_program())
+        os_model = OSModel(space)
+        fired = []
+        os_model.register_cfr_invalidate_hook(lambda: fired.append(1))
+        os_model.pin_cfr_page(space.program.entry >> 12)
+        other = space.program.data_base >> 12
+        os_model.evict_page(other)
+        assert not fired
+
+    def test_context_switch_saves_and_invalidates(self):
+        space = AddressSpace(_tiny_program())
+        os_model = OSModel(space)
+        fired = []
+        os_model.register_cfr_invalidate_hook(lambda: fired.append(1))
+        os_model.context_switch(SavedContext(asid=0, cfr_vpn=5, cfr_pfn=9,
+                                             cfr_valid=True))
+        assert fired
+        assert os_model.context_switches == 1
+
+    def test_due_for_context_switch(self):
+        space = AddressSpace(_tiny_program())
+        os_model = OSModel(space, context_switch_interval=1000)
+        assert os_model.due_for_context_switch(2000)
+        assert not os_model.due_for_context_switch(1500)

@@ -1,0 +1,151 @@
+"""Workload generation and calibration bands.
+
+Calibration bands are centered on the paper's Table 2/4/5 targets but
+widened to the residuals the generator actually achieves (documented in
+EXPERIMENTS.md); they exist to catch regressions, not to assert perfect
+SPEC equivalence.
+"""
+
+import pytest
+
+from repro.workloads.calibration import (
+    compare_to_paper,
+    measure_characteristics,
+)
+from repro.workloads.spec2000 import (
+    BENCHMARK_NAMES,
+    PAPER_REFERENCE,
+    load_benchmark,
+    profile_for,
+    spec2000_suite,
+)
+from repro.workloads.synthetic import WorkloadProfile, generate
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(profile_for("177.mesa"))
+        b = generate(profile_for("177.mesa"))
+        assert a.module.instruction_count == b.module.instruction_count
+        assert a.call_graph == b.call_graph
+
+    def test_different_seeds_differ(self):
+        base = profile_for("177.mesa")
+        import dataclasses
+        other = dataclasses.replace(base, seed=base.seed + 1)
+        assert (generate(base).module.instruction_count
+                != generate(other).module.instruction_count)
+
+    def test_chunks_cover_module(self):
+        workload = load_benchmark("177.mesa")
+        chunk_instrs = sum(
+            sum(1 for item in items if not isinstance(item, str))
+            for _, items in workload.chunks)
+        assert chunk_instrs == workload.module.instruction_count
+
+    def test_call_graph_names_exist(self):
+        workload = load_benchmark("177.mesa")
+        names = {name for name, _ in workload.chunks}
+        for caller, callee in workload.call_graph:
+            assert caller in names
+            assert callee in names
+
+    def test_both_binaries_link(self):
+        workload = load_benchmark("254.gap")
+        plain = workload.link()
+        instr = workload.link(instrumented=True)
+        assert instr.boundary_branch_count > 0
+        assert len(instr) > len(plain)
+
+    def test_custom_profile_runs(self):
+        profile = WorkloadProfile(name="custom", seed=7, hot_functions=3,
+                                  cold_functions=2, leaf_functions=2,
+                                  schedule_len=6, fn_align_words=1024)
+        workload = generate(profile)
+        from repro.cpu.functional import Executor
+        from repro.vm.os_model import AddressSpace
+        program = workload.link()
+        executor = Executor(program, AddressSpace(program))
+        assert executor.run(3000) == 3000  # endless driver loop
+
+    def test_suite_has_six_members(self):
+        suite = spec2000_suite()
+        assert set(suite) == set(BENCHMARK_NAMES)
+
+
+_MEASURE_CACHE: dict = {}
+
+
+def _measured_for(bench):
+    """Memoized measurement shared across the parametrized band tests."""
+    if bench not in _MEASURE_CACHE:
+        _MEASURE_CACHE[bench] = measure_characteristics(
+            load_benchmark(bench), instructions=30_000, warmup=8_000)
+    return _MEASURE_CACHE[bench]
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+class TestCalibrationBands:
+    """Per-benchmark bands around the paper's characterization."""
+
+    @pytest.fixture()
+    def measured(self, bench):
+        return _measured_for(bench)
+
+    def test_branch_fraction_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].branch_fraction
+        assert 0.35 * paper < measured.branch_fraction < 2.0 * paper
+
+    def test_il1_miss_rate_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].il1_miss_rate
+        assert 0.15 * paper < measured.il1_miss_rate < 9.0 * paper
+
+    def test_crossings_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].crossings_per_kinst
+        assert 0.3 * paper < measured.crossings_per_kinst < 1.8 * paper
+
+    def test_accuracy_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].predictor_accuracy
+        assert abs(measured.predictor_accuracy_pct - paper) < 5.0
+
+    def test_analyzable_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].analyzable_pct
+        # widest residual: gap runs ~14 points under its paper value
+        # (documented in EXPERIMENTS.md)
+        assert abs(measured.analyzable_pct - paper) < 15.0
+
+    def test_in_page_band(self, bench, measured):
+        paper = PAPER_REFERENCE[bench].in_page_pct
+        assert abs(measured.in_page_pct - paper) < 15.0
+
+
+class TestSuiteOrderings:
+    """Cross-benchmark orderings the paper's narrative leans on."""
+
+    @pytest.fixture(scope="class")
+    def all_measured(self):
+        return {bench: _measured_for(bench) for bench in BENCHMARK_NAMES}
+
+    def test_fma3d_is_branchiest(self, all_measured):
+        fma = all_measured["191.fma3d"].branch_fraction
+        assert fma >= max(m.branch_fraction
+                          for b, m in all_measured.items()
+                          if b != "191.fma3d") - 0.03
+
+    def test_gap_has_fewest_branches(self, all_measured):
+        gap = all_measured["254.gap"].branch_fraction
+        assert gap <= min(m.branch_fraction
+                          for b, m in all_measured.items()
+                          if b != "254.gap") + 0.01
+
+    def test_vortex_most_predictable(self, all_measured):
+        vortex = all_measured["255.vortex"].predictor_accuracy_pct
+        eon = all_measured["252.eon"].predictor_accuracy_pct
+        assert vortex > eon
+
+    def test_comparison_helper(self, all_measured):
+        comparison = compare_to_paper(all_measured["177.mesa"])
+        assert set(comparison) >= {"branch_fraction", "il1_miss_rate",
+                                   "predictor_accuracy_pct"}
+        for paper_v, measured_v in comparison.values():
+            assert paper_v >= 0 and measured_v >= 0
