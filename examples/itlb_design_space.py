@@ -7,51 +7,75 @@ the IA scheme, and print the energy/performance frontier.  The punchline
 — a large iTLB *with IA* gives the performance of the large iTLB at less
 energy than the tiny one — falls out of the table.
 
-    python examples/itlb_design_space.py
+The sweep goes through :mod:`repro.runner`: every design point is a
+:class:`JobSpec`, the batch fans out over worker processes, and repeat
+runs are answered from the on-disk result store.
+
+    python examples/itlb_design_space.py [workers] [cache-dir]
 """
+
+import sys
 
 from repro import (
     ITLB_SWEEP,
+    JobSpec,
+    ResultStore,
     SchemeName,
+    SweepRunner,
     TWO_LEVEL_MONOLITHIC_BASELINES,
     TWO_LEVEL_SWEEP,
     default_config,
     itlb_sweep_label,
-    load_benchmark,
-    run_all_schemes,
 )
 
 BENCH = "255.vortex"  # the suite's worst instruction locality
 INSTRUCTIONS = 50_000
 WARMUP = 10_000
+SCHEMES = (SchemeName.BASE, SchemeName.IA)
 
 
-def evaluate(config, label):
-    run = run_all_schemes(load_benchmark(BENCH), config,
-                          instructions=INSTRUCTIONS, warmup=WARMUP,
-                          schemes=(SchemeName.BASE, SchemeName.IA))
-    base = run.scheme(SchemeName.BASE)
-    ia = run.scheme(SchemeName.IA)
+def spec_for(config):
+    return JobSpec(workload=BENCH, config=config,
+                   instructions=INSTRUCTIONS, warmup=WARMUP,
+                   schemes=SCHEMES)
+
+
+def show(label, result):
+    if not result.ok:
+        print(f"{label:<22} FAILED:\n{result.error}")
+        return
+    base = result.run.scheme(SchemeName.BASE)
+    ia = result.run.scheme(SchemeName.IA)
     print(f"{label:<22} "
           f"base: {base.energy.total_mj * 1e3:8.3f} uJ {base.cycles:>10,} cyc   "
           f"IA: {ia.energy.total_mj * 1e3:8.3f} uJ {ia.cycles:>10,} cyc")
-    return base, ia
 
 
 def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    cache_dir = sys.argv[2] if len(sys.argv) > 2 else None
+
+    mono = [(f"mono {itlb_sweep_label(itlb)}",
+             spec_for(default_config().with_itlb(itlb)))
+            for itlb in ITLB_SWEEP]
+    two_level = []
+    for tl_cfg, baseline in zip(TWO_LEVEL_SWEEP,
+                                TWO_LEVEL_MONOLITHIC_BASELINES):
+        cfg = default_config().with_itlb(baseline) \
+            .with_two_level_itlb(tl_cfg)
+        two_level.append((f"2-level {tl_cfg.level1.entries}"
+                          f"+{tl_cfg.level2.entries}", spec_for(cfg)))
+
+    runner = SweepRunner(store=ResultStore(cache_dir), workers=workers)
+    results = runner.run([spec for _, spec in mono + two_level])
     print(f"iTLB design space on {BENCH} (VI-PT iL1, "
-          f"{INSTRUCTIONS:,} instructions)\n")
+          f"{INSTRUCTIONS:,} instructions; {runner.last_stats.describe()})\n")
     print("-- monolithic --")
-    for itlb in ITLB_SWEEP:
-        evaluate(default_config().with_itlb(itlb),
-                 f"mono {itlb_sweep_label(itlb)}")
+    for (label, _), result in zip(mono, results[:len(mono)]):
+        show(label, result)
     print("\n-- two-level (base only makes sense without a CFR) --")
-    for two_level, mono in zip(TWO_LEVEL_SWEEP,
-                               TWO_LEVEL_MONOLITHIC_BASELINES):
-        cfg = default_config().with_itlb(mono).with_two_level_itlb(two_level)
-        label = (f"2-level {two_level.level1.entries}"
-                 f"+{two_level.level2.entries}")
-        evaluate(cfg, label)
+    for (label, _), result in zip(two_level, results[len(mono):]):
+        show(label, result)
     print("\nReading: the 32-entry monolithic iTLB *with IA* beats both "
           "the 1-entry\nmonolithic and the two-level organizations on "
           "energy while keeping the\nlarge-iTLB cycle count — the paper's "

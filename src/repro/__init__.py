@@ -7,9 +7,11 @@ assembler/linker (:mod:`repro.isa`), virtual memory and TLBs
 (:mod:`repro.mem`), branch prediction (:mod:`repro.branch`), a CACTI-like
 energy model (:mod:`repro.energy`), the paper's CFR-based iTLB policies
 (:mod:`repro.core`), compiler support (:mod:`repro.compiler`), synthetic
-SPEC2000-calibrated workloads (:mod:`repro.workloads`), two execution
-engines (:mod:`repro.cpu`), a simulation facade (:mod:`repro.sim`), and
-the table/figure reproduction harness (:mod:`repro.experiments`).
+SPEC2000-calibrated workloads with a name registry
+(:mod:`repro.workloads`), two execution engines (:mod:`repro.cpu`), a
+simulation facade (:mod:`repro.sim`), a parallel sweep runner with a
+persistent result store (:mod:`repro.runner`), and the table/figure
+reproduction harness (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -49,9 +51,11 @@ from repro.errors import (
     LayoutError,
     MemoryFault,
     ProtectionFault,
+    RegistryError,
     ReproError,
     SimulationError,
 )
+from repro.runner import JobResult, JobSpec, ResultStore, SweepRunner
 from repro.sim import CombinedRun, Simulator, attach_energy, run_all_schemes
 from repro.cpu import (
     EngineResult,
@@ -89,6 +93,8 @@ __all__ = [
     "FULL_ASSOC",
     "FastEngine",
     "ITLB_SWEEP",
+    "JobResult",
+    "JobSpec",
     "LayoutError",
     "MachineConfig",
     "MemoryConfig",
@@ -96,11 +102,14 @@ __all__ = [
     "OutOfOrderEngine",
     "PAPER_REFERENCE",
     "ProtectionFault",
+    "RegistryError",
     "ReproError",
+    "ResultStore",
     "SchemeName",
     "SchemeResult",
     "SimulationError",
     "Simulator",
+    "SweepRunner",
     "SyntheticWorkload",
     "TLBConfig",
     "TWO_LEVEL_MONOLITHIC_BASELINES",

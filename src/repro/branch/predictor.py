@@ -18,6 +18,7 @@ Prediction discipline (BTB-driven fetch, as in SimpleScalar):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -90,6 +91,13 @@ class PredictorStats:
         self.conditional_mispredicts = 0
         self.indirect = 0
         self.indirect_mispredicts = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictorStats":
+        return cls(**data)
 
 
 class FrontEndPredictor:

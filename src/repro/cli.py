@@ -4,6 +4,9 @@ Subcommands:
 
 * ``report``       — run every experiment and write EXPERIMENTS.md
 * ``experiment``   — run one experiment and print its table
+* ``sweep``        — batch workloads x iTLB sizes through the parallel
+  sweep runner (``--workers``), with a persistent result cache
+  (``--cache-dir``) and machine-readable output (``--json``)
 * ``calibrate``    — print the workload-calibration report
 * ``config``       — print the default (Table 1) machine
 * ``simulate``     — one benchmark, all schemes, summary output
@@ -12,23 +15,36 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
-from repro.config import CacheAddressing, default_config
-from repro.experiments.common import default_settings
+from repro import __version__
+from repro.config import (
+    CacheAddressing,
+    SchemeName,
+    TLBConfig,
+    default_config,
+    itlb_sweep_label,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import TableResult, default_settings
 from repro.experiments.report import (
     ALL_EXPERIMENTS,
     EXPERIMENT_BY_NAME,
     write_experiments_md,
 )
 from repro.cpu.results import summarize_result
+from repro.runner import JobSpec, ResultStore, SweepRunner
 from repro.sim.multi import run_all_schemes
 from repro.workloads.calibration import calibration_report
 from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+from repro.workloads import registry
 
 
-def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+def _add_sim_args(parser: argparse.ArgumentParser, *,
+                  workers: bool = False) -> None:
     parser.add_argument("--instructions", type=int, default=120_000,
                         help="useful instructions to measure per pass")
     parser.add_argument("--warmup", type=int, default=20_000,
@@ -36,12 +52,89 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         choices=list(BENCHMARK_NAMES),
                         help="subset of benchmarks (default: all six)")
+    if workers:
+        parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for simulation batches")
 
 
 def _settings(args: argparse.Namespace):
     return default_settings(instructions=args.instructions,
                             warmup=args.warmup,
-                            benchmarks=args.benchmarks)
+                            benchmarks=args.benchmarks,
+                            workers=getattr(args, "workers", 1))
+
+
+def _run_sweep(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    names = args.benchmarks if args.benchmarks else list(BENCHMARK_NAMES)
+    known = set(registry.available())
+    for name in names:
+        if name not in known:
+            parser.error(f"unknown workload '{name}' "
+                         f"(choose from {', '.join(sorted(known))})")
+    schemes = (tuple(SchemeName(s) for s in args.schemes)
+               if args.schemes else None)
+    entries = args.itlb_entries if args.itlb_entries else None
+    base = default_config(CacheAddressing(args.il1))
+    try:
+        configs = ([base] if entries is None else
+                   [base.with_itlb(TLBConfig(entries=n)) for n in entries])
+    except ConfigError as exc:
+        parser.error(f"--itlb-entries: {exc}")
+    specs = []
+    for name in names:
+        for config in configs:
+            specs.append(JobSpec(workload=name, config=config,
+                                 instructions=args.instructions,
+                                 warmup=args.warmup, schemes=schemes))
+
+    store = ResultStore(args.cache_dir)
+    runner = SweepRunner(store=store, workers=args.workers)
+    results = runner.run(specs)
+    stats = runner.last_stats
+
+    if args.json:
+        print(json.dumps({
+            "stats": dataclasses.asdict(stats),
+            "jobs": [result.to_dict() for result in results],
+        }, indent=2))
+        return 1 if stats.failed else 0
+
+    table = TableResult(
+        experiment_id="Sweep",
+        title=f"{len(names)} workload(s) x "
+              f"{len(specs) // len(names)} config(s), "
+              f"{args.il1} iL1, {args.instructions:,} instructions",
+        columns=["workload", "iTLB", "scheme", "lookups", "misses",
+                 "cycles", "energy (nJ)"],
+    )
+    for result in results:
+        label = itlb_sweep_label(result.spec.config.itlb)
+        if not result.ok:
+            table.notes.append(
+                f"FAILED {result.spec.describe()}: "
+                f"{result.error.strip().splitlines()[-1]}")
+            continue
+        for name, scheme in result.run.schemes.items():
+            # the instrumented pass's Base reference rides along in the
+            # result; only show what the user asked for
+            if schemes is not None and name not in schemes:
+                continue
+            table.add_row(**{
+                "workload": result.spec.workload,
+                "iTLB": label,
+                "scheme": name.value,
+                "lookups": scheme.lookups,
+                "misses": scheme.itlb_misses,
+                "cycles": scheme.cycles,
+                "energy (nJ)": (scheme.energy.total_nj
+                                if scheme.energy else float("nan")),
+            })
+    table.notes.append(stats.describe())
+    if args.cache_dir:
+        table.notes.append(f"cache: {store.describe()}")
+    print(table.render())
+    return 1 if stats.failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -49,15 +142,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-itlb",
         description="Reproduction of Kadayif et al., MICRO 2002 "
                     "(iTLB energy via direct physical-address generation)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro-itlb {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
-    _add_sim_args(p_report)
+    _add_sim_args(p_report, workers=True)
     p_report.add_argument("--output", default="EXPERIMENTS.md")
 
     p_exp = sub.add_parser("experiment", help="run a single experiment")
     p_exp.add_argument("name", choices=[n for n, _ in ALL_EXPERIMENTS])
-    _add_sim_args(p_exp)
+    _add_sim_args(p_exp, workers=True)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="batch workloads x iTLB sizes through the runner")
+    p_sweep.add_argument("--benchmarks", nargs="*", default=None,
+                         metavar="WORKLOAD",
+                         help="registry workload names (SPEC stand-ins, "
+                              "micro.* microbenches; default: all six "
+                              "SPEC stand-ins)")
+    p_sweep.add_argument("--itlb-entries", nargs="*", type=int, default=None,
+                         metavar="N",
+                         help="iTLB sizes to sweep (fully associative; "
+                              "default: the Table 1 machine's 32)")
+    p_sweep.add_argument("--schemes", nargs="*", default=None,
+                         choices=[s.value for s in SchemeName],
+                         help="scheme subset (default: all)")
+    p_sweep.add_argument("--il1", default="vi-pt",
+                         choices=[a.value for a in CacheAddressing])
+    p_sweep.add_argument("--instructions", type=int, default=120_000)
+    p_sweep.add_argument("--warmup", type=int, default=20_000)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="persist results here and reuse them on "
+                              "repeat invocations")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="machine-readable output (full simulation "
+                              "records, including the normalization Base "
+                              "pass even under --schemes)")
 
     p_cal = sub.add_parser("calibrate",
                            help="workload calibration vs paper targets")
@@ -73,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be >= 1")
+
     if args.command == "report":
         write_experiments_md(args.output, _settings(args))
         return 0
@@ -80,6 +206,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = EXPERIMENT_BY_NAME[args.name](_settings(args))
         print(result.render())
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args, parser)
     if args.command == "calibrate":
         print(calibration_report(instructions=args.instructions,
                                  warmup=args.warmup))

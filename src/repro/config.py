@@ -336,6 +336,44 @@ class MachineConfig:
     def with_branch(self, branch: BranchPredictorConfig) -> "MachineConfig":
         return dataclasses.replace(self, branch=branch)
 
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view of the machine (inverse of :meth:`from_dict`).
+
+        Every leaf is a JSON-native type, so the result can be hashed for
+        content addressing (``repro.runner.JobSpec``) or persisted by the
+        result store and reconstructed in another process.
+        """
+        data = dataclasses.asdict(self)
+        data["mem"]["il1_addressing"] = self.mem.il1_addressing.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a machine from :meth:`to_dict` output (re-validating
+        every component along the way)."""
+        mem = dict(data["mem"])
+        mem["il1"] = CacheConfig(**mem["il1"])
+        mem["dl1"] = CacheConfig(**mem["dl1"])
+        mem["l2"] = CacheConfig(**mem["l2"])
+        mem["il1_addressing"] = CacheAddressing(mem["il1_addressing"])
+        two = data.get("itlb_two_level")
+        return cls(
+            core=CoreConfig(**data["core"]),
+            mem=MemoryConfig(**mem),
+            itlb=TLBConfig(**data["itlb"]),
+            dtlb=TLBConfig(**data["dtlb"]),
+            branch=BranchPredictorConfig(**data["branch"]),
+            energy=EnergyConfig(**data["energy"]),
+            itlb_two_level=None if two is None else TwoLevelTLBConfig(
+                level1=TLBConfig(**two["level1"]),
+                level2=TLBConfig(**two["level2"]),
+                serial=two["serial"],
+                l2_extra_latency=two["l2_extra_latency"],
+            ),
+        )
+
     def describe(self) -> str:
         """Render a Table 1 style description of this machine."""
         lines = [

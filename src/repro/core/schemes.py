@@ -31,6 +31,7 @@ schemes, so TLB contents, hit rates, and miss penalties must too.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Dict, List, Optional, Tuple
@@ -68,6 +69,13 @@ class SchemeCounters:
     @property
     def lookup_hit_rate(self) -> float:
         return 1.0 - (self.misses / self.lookups) if self.lookups else 1.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "SchemeCounters":
+        return cls(**data)
 
 
 class ITLBPolicy:

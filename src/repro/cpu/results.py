@@ -9,6 +9,7 @@ evaluated iTLB policy.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -52,6 +53,19 @@ class SharedStats:
         return (self.dynamic_branches / self.instructions
                 if self.instructions else 0.0)
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SharedStats":
+        data = dict(data)
+        data["il1"] = CacheStats.from_dict(data["il1"])
+        data["dl1"] = CacheStats.from_dict(data["dl1"])
+        data["l2"] = CacheStats.from_dict(data["l2"])
+        data["dtlb"] = TLBStats.from_dict(data["dtlb"])
+        data["predictor"] = PredictorStats.from_dict(data["predictor"])
+        return cls(**data)
+
 
 @dataclass
 class SchemeResult:
@@ -71,6 +85,30 @@ class SchemeResult:
     @property
     def itlb_misses(self) -> int:
         return self.counters.misses
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme.value,
+            "counters": self.counters.to_dict(),
+            "itlb_stats": self.itlb_stats.to_dict(),
+            "extra_cycles": self.extra_cycles,
+            "cycles": self.cycles,
+            "energy": (None if self.energy is None
+                       else self.energy.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchemeResult":
+        energy = data["energy"]
+        return cls(
+            scheme=SchemeName(data["scheme"]),
+            counters=SchemeCounters.from_dict(data["counters"]),
+            itlb_stats=TLBStats.from_dict(data["itlb_stats"]),
+            extra_cycles=data["extra_cycles"],
+            cycles=data["cycles"],
+            energy=None if energy is None
+            else EnergyBreakdown.from_dict(energy),
+        )
 
 
 @dataclass
@@ -92,6 +130,29 @@ class EngineResult:
         if not self.shared.base_cycles:
             return 0.0
         return self.shared.instructions / self.shared.base_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "program_name": self.program_name,
+            "config": self.config.to_dict(),
+            "addressing": self.addressing.value,
+            "shared": self.shared.to_dict(),
+            "schemes": {name.value: scheme.to_dict()
+                        for name, scheme in self.schemes.items()},
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineResult":
+        return cls(
+            program_name=data["program_name"],
+            config=MachineConfig.from_dict(data["config"]),
+            addressing=CacheAddressing(data["addressing"]),
+            shared=SharedStats.from_dict(data["shared"]),
+            schemes={SchemeName(name): SchemeResult.from_dict(scheme)
+                     for name, scheme in data["schemes"].items()},
+            engine=data["engine"],
+        )
 
 
 def summarize_result(result: EngineResult) -> str:

@@ -15,6 +15,7 @@ E_a, which is how serial lookup saves energy over parallel.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -54,6 +55,13 @@ class EnergyBreakdown:
             cfr_read_nj=self.cfr_read_nj * factor,
             btb_compare_nj=self.btb_compare_nj * factor,
         )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        return cls(**data)
 
 
 def itlb_energy_nj(

@@ -52,5 +52,9 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class RegistryError(ReproError):
+    """An invalid workload registration (duplicate or empty name)."""
+
+
 class CalibrationError(ReproError):
     """A workload profile failed to meet its calibration targets."""

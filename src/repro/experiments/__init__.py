@@ -5,9 +5,13 @@ as paper-style text tables and carry paper-vs-measured comparisons where
 the paper printed absolute numbers.  ``repro.experiments.report`` executes
 the full set and writes EXPERIMENTS.md.
 
-Simulation passes are shared across experiments through a per-process
-cache (:mod:`repro.experiments.common`): Table 2, Tables 3-5, and Figures
-4-5 all read the same two default-configuration passes per benchmark.
+Simulation passes route through the sweep runner (:mod:`repro.runner`)
+via a shared result store (:mod:`repro.experiments.common`): Table 2,
+Tables 3-5, and Figures 4-5 all read the same two default-configuration
+passes per benchmark, experiments prefetch their (benchmark, config)
+grids so ``settings.workers > 1`` simulates them in parallel, and a
+persistent cache directory (``configure_store``) carries results across
+processes.
 """
 
 from repro.experiments.common import (
@@ -15,7 +19,10 @@ from repro.experiments.common import (
     TableResult,
     clear_cache,
     combined_run,
+    configure_store,
     default_settings,
+    job_for,
+    prefetch,
 )
 from repro.experiments import (
     configuration,
@@ -42,7 +49,10 @@ __all__ = [
     "clear_cache",
     "combined_run",
     "configuration",
+    "configure_store",
     "default_settings",
+    "job_for",
+    "prefetch",
     "extensions",
     "fig4",
     "fig5",

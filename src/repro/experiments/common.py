@@ -1,10 +1,15 @@
 """Shared infrastructure for the experiment harness.
 
-``combined_run`` memoizes (benchmark, machine-variant) passes so that the
+Simulation passes route through the sweep runner (:mod:`repro.runner`):
+``combined_run`` answers from a process-wide :class:`ResultStore` (so the
 many tables reading the default configuration reuse two passes per
-benchmark instead of re-simulating.  ``TableResult`` is the uniform result
-object: ordered rows of named columns, a title, and free-form notes
-(deviations, scaling).
+benchmark), and ``prefetch`` lets an experiment hand its whole
+(benchmark, config) grid to the :class:`SweepRunner` up front —
+``settings.workers > 1`` then simulates the grid in parallel before the
+row loops read it back cell by cell.  Pointing the store at a directory
+(``configure_store``) makes results persist across processes.
+``TableResult`` is the uniform result object: ordered rows of named
+columns, a title, and free-form notes (deviations, scaling).
 
 Scaling: the paper simulates 250M instructions; we simulate
 ``settings.instructions``.  Energies and cycles reported in "paper units"
@@ -16,27 +21,26 @@ always reported alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.config import (
-    CacheAddressing,
-    MachineConfig,
-    SchemeName,
-    default_config,
-)
-from repro.sim.multi import CombinedRun, run_all_schemes
-from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.sim.multi import CombinedRun
+from repro.workloads.spec2000 import BENCHMARK_NAMES
 
 PAPER_INSTRUCTIONS = 250_000_000
 
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """How much simulation each experiment performs."""
+    """How much simulation each experiment performs, and how."""
 
     instructions: int = 120_000
     warmup: int = 20_000
     benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
+    #: worker processes ``prefetch`` fans simulation out over (1 = serial)
+    workers: int = 1
 
     @property
     def paper_scale(self) -> float:
@@ -46,7 +50,8 @@ class ExperimentSettings:
 
 def default_settings(instructions: Optional[int] = None,
                      warmup: Optional[int] = None,
-                     benchmarks: Optional[Sequence[str]] = None
+                     benchmarks: Optional[Sequence[str]] = None,
+                     workers: Optional[int] = None
                      ) -> ExperimentSettings:
     kwargs = {}
     if instructions is not None:
@@ -57,46 +62,65 @@ def default_settings(instructions: Optional[int] = None,
         kwargs["warmup"] = warmup
     if benchmarks is not None:
         kwargs["benchmarks"] = tuple(benchmarks)
+    if workers is not None:
+        kwargs["workers"] = workers
     return ExperimentSettings(**kwargs)
 
 
 # ---------------------------------------------------------------------------
-# Pass cache
+# Pass cache (a process-wide ResultStore shared by every experiment)
 # ---------------------------------------------------------------------------
 
-_CACHE: Dict[tuple, CombinedRun] = {}
+_STORE = ResultStore()
 
 
-def _config_key(config: MachineConfig) -> tuple:
-    itlb = config.itlb
-    two = config.itlb_two_level
-    il1 = config.mem.il1
-    return (
-        config.mem.il1_addressing.value,
-        itlb.entries, itlb.assoc,
-        None if two is None else (two.level1.entries, two.level1.assoc,
-                                  two.level2.entries, two.level2.assoc,
-                                  two.serial),
-        config.mem.page_bytes,
-        il1.size_bytes, il1.assoc, il1.block_bytes,
-        config.branch.kind, config.branch.ras_entries,
-    )
+def configure_store(cache_dir: Optional[str] = None) -> ResultStore:
+    """Replace the experiment layer's store; ``cache_dir`` makes results
+    persist on disk (and survive across processes), None reverts to a
+    fresh memory-only store."""
+    global _STORE
+    _STORE = ResultStore(cache_dir)
+    return _STORE
+
+
+def job_for(benchmark: str, config: MachineConfig,
+            settings: ExperimentSettings) -> JobSpec:
+    """The runner job one experiment cell corresponds to."""
+    return JobSpec(workload=benchmark, config=config,
+                   instructions=settings.instructions,
+                   warmup=settings.warmup)
 
 
 def combined_run(benchmark: str, config: MachineConfig,
                  settings: ExperimentSettings) -> CombinedRun:
-    """Memoized two-pass evaluation of every scheme on one benchmark."""
-    key = (benchmark, settings.instructions, settings.warmup,
-           _config_key(config))
-    if key not in _CACHE:
-        _CACHE[key] = run_all_schemes(
-            load_benchmark(benchmark), config,
-            instructions=settings.instructions, warmup=settings.warmup)
-    return _CACHE[key]
+    """Store-backed two-pass evaluation of every scheme on one benchmark."""
+    spec = job_for(benchmark, config, settings)
+    run = _STORE.get(spec)
+    if run is None:
+        run = spec.run()
+        _STORE.put(spec, run)
+    return run
+
+
+def prefetch(cells: Iterable[Tuple[str, MachineConfig]],
+             settings: ExperimentSettings) -> None:
+    """Fill the store for a batch of (benchmark, config) cells at once.
+
+    With ``settings.workers > 1`` the misses simulate in parallel; the
+    subsequent ``combined_run`` reads are then pure cache hits.  A failed
+    cell raises immediately — experiments cannot proceed without it.
+    """
+    runner = SweepRunner(store=_STORE, workers=settings.workers)
+    for result in runner.run(job_for(b, c, settings) for b, c in cells):
+        if not result.ok:
+            raise SimulationError(
+                f"prefetch failed for {result.spec.describe()}:\n"
+                f"{result.error}")
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-memory result cache (on-disk entries, if any, stay)."""
+    _STORE.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.experiments.common import (
     average,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 from repro.sim.simulator import Simulator
@@ -146,6 +147,10 @@ def run_predictors(settings: Optional[ExperimentSettings] = None
         ("gshare+RAS", BranchPredictorConfig(kind="gshare",
                                              history_bits=10)),
     )
+    prefetch(((bench, default_config(CacheAddressing.VIPT)
+               .with_branch(branch_cfg))
+              for _, branch_cfg in variants
+              for bench in settings.benchmarks), settings)
     result = TableResult(
         experiment_id="Extension: predictors",
         title="IA vs OPT energy (VI-PT) under different predictors",
@@ -178,6 +183,8 @@ def run_accounting(settings: Optional[ExperimentSettings] = None
                    ) -> TableResult:
     """Charge the energies the paper's accounting omits."""
     settings = settings or default_settings()
+    prefetch(((bench, default_config(CacheAddressing.VIPT))
+              for bench in settings.benchmarks), settings)
     result = TableResult(
         experiment_id="Extension: accounting",
         title="Effect of charging CFR reads and the IA BTB compare "

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     average,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -35,6 +36,8 @@ PAPER_AVERAGES = {
 def run_for(addressing: CacheAddressing,
             settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(addressing))
+              for bench in settings.benchmarks), settings)
     label = addressing.value.upper()
     result = TableResult(
         experiment_id="Figure 4" + (" (top)" if addressing

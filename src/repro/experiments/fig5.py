@@ -18,6 +18,7 @@ from repro.experiments.common import (
     average,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -27,6 +28,10 @@ _SCHEMES = (SchemeName.HOA, SchemeName.SOCA, SchemeName.SOLA,
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(addressing))
+              for bench in settings.benchmarks
+              for addressing in (CacheAddressing.VIVT,
+                                 CacheAddressing.VIPT)), settings)
     result = TableResult(
         experiment_id="Figure 5",
         title="Normalized execution cycles, VI-VT iL1 (percent of base)",

@@ -29,12 +29,24 @@ from repro.experiments.common import (
     average,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    cells = []
+    for two_level, mono in zip(TWO_LEVEL_SWEEP,
+                               TWO_LEVEL_MONOLITHIC_BASELINES):
+        for bench in settings.benchmarks:
+            cells.append((bench, default_config(CacheAddressing.VIPT)
+                          .with_itlb(mono)))
+            for serial in (True, False):
+                tl_cfg = dataclasses.replace(two_level, serial=serial)
+                cells.append((bench, default_config(CacheAddressing.VIPT)
+                              .with_itlb(mono).with_two_level_itlb(tl_cfg)))
+    prefetch(cells, settings)
     result = TableResult(
         experiment_id="Figure 6",
         title="Two-level iTLB (base) vs monolithic iTLB with IA "

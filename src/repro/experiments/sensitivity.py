@@ -22,6 +22,7 @@ from repro.experiments.common import (
     average,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -32,8 +33,17 @@ IL1_SWEEP = ((4, 1), (8, 1), (16, 2), (32, 2))
 PAGE_SWEEP = (4096, 8192, 16384, 65536)
 
 
+def _il1_config(size_kb: int, assoc: int):
+    il1 = CacheConfig("iL1", size_bytes=size_kb * 1024, assoc=assoc,
+                      block_bytes=32, hit_latency=1)
+    return default_config(CacheAddressing.VIVT).with_il1(il1)
+
+
 def run_il1(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, _il1_config(size_kb, assoc))
+              for size_kb, assoc in IL1_SWEEP
+              for bench in settings.benchmarks), settings)
     result = TableResult(
         experiment_id="Sensitivity (iL1)",
         title="IA with VI-VT iL1 across iL1 geometries",
@@ -41,13 +51,11 @@ def run_il1(settings: Optional[ExperimentSettings] = None) -> TableResult:
                  "ia energy % of base", "ia cycles % of base"],
     )
     for size_kb, assoc in IL1_SWEEP:
-        il1 = CacheConfig("iL1", size_bytes=size_kb * 1024, assoc=assoc,
-                          block_bytes=32, hit_latency=1)
         label = f"{size_kb}KB/{assoc}w"
         e_list, c_list = [], []
         for bench in settings.benchmarks:
-            cfg = default_config(CacheAddressing.VIVT).with_il1(il1)
-            run_ = combined_run(bench, cfg, settings)
+            run_ = combined_run(bench, _il1_config(size_kb, assoc),
+                                settings)
             e_pct = 100.0 * run_.normalized_energy(SchemeName.IA)
             c_pct = 100.0 * run_.normalized_cycles(SchemeName.IA)
             e_list.append(e_pct)
@@ -71,6 +79,10 @@ def run_il1(settings: Optional[ExperimentSettings] = None) -> TableResult:
 def run_page_size(settings: Optional[ExperimentSettings] = None
                   ) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(CacheAddressing.VIPT)
+               .with_page_bytes(page_bytes))
+              for page_bytes in PAGE_SWEEP
+              for bench in settings.benchmarks), settings)
     result = TableResult(
         experiment_id="Sensitivity (page size)",
         title="IA and OPT (VI-PT) across page sizes",

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 from repro.workloads.spec2000 import PAPER_REFERENCE
@@ -24,6 +25,10 @@ from repro.workloads.spec2000 import PAPER_REFERENCE
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(addressing))
+              for bench in settings.benchmarks
+              for addressing in (CacheAddressing.VIPT,
+                                 CacheAddressing.VIVT)), settings)
     result = TableResult(
         experiment_id="Table 2",
         title="Benchmarks and their characteristics (default configuration)",

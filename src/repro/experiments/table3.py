@@ -19,6 +19,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -27,6 +28,8 @@ _SCHEMES = (SchemeName.SOCA, SchemeName.SOLA, SchemeName.IA)
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(CacheAddressing.VIPT))
+              for bench in settings.benchmarks), settings)
     columns = ["benchmark"]
     for scheme in _SCHEMES:
         columns += [f"{scheme.value} BOUNDARY", f"{scheme.value} BRANCH",

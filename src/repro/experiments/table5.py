@@ -15,6 +15,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 from repro.workloads.spec2000 import PAPER_REFERENCE
@@ -22,6 +23,8 @@ from repro.workloads.spec2000 import PAPER_REFERENCE
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(CacheAddressing.VIPT))
+              for bench in settings.benchmarks), settings)
     result = TableResult(
         experiment_id="Table 5",
         title="Branch predictor accuracy (percent)",

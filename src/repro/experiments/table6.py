@@ -27,12 +27,18 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(addressing).with_itlb(itlb))
+              for itlb in ITLB_SWEEP
+              for bench in settings.benchmarks
+              for addressing in (CacheAddressing.VIPT,
+                                 CacheAddressing.VIVT)), settings)
     result = TableResult(
         experiment_id="Table 6",
         title="Energy (VI-PT, VI-VT) and cycles (VI-VT) across iTLB "

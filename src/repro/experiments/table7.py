@@ -22,6 +22,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -37,6 +38,9 @@ _PAPER = {
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(CacheAddressing.VIPT).with_itlb(itlb))
+              for bench in settings.benchmarks
+              for itlb in ITLB_SWEEP), settings)
     labels = [itlb_sweep_label(c) for c in ITLB_SWEEP]
     columns = ["benchmark"]
     for label in labels:

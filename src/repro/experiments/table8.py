@@ -18,6 +18,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 
@@ -35,6 +36,10 @@ _PAPER = {
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     settings = settings or default_settings()
+    prefetch(((bench, default_config(addressing))
+              for bench in settings.benchmarks
+              for addressing in (CacheAddressing.PIPT, CacheAddressing.VIPT,
+                                 CacheAddressing.VIVT)), settings)
     result = TableResult(
         experiment_id="Table 8",
         title="PI-PT base / PI-PT+IA / VI-PT base / VI-VT base: "

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     TableResult,
     combined_run,
     default_settings,
+    prefetch,
     short_name,
 )
 from repro.sim.simulator import attach_energy
@@ -44,7 +45,12 @@ def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     )
     fast_settings = ExperimentSettings(instructions=instructions,
                                        warmup=warmup,
-                                       benchmarks=tuple(benchmarks))
+                                       benchmarks=tuple(benchmarks),
+                                       workers=settings.workers)
+    prefetch(((bench, default_config(addressing))
+              for bench in benchmarks
+              for addressing in (CacheAddressing.VIPT,
+                                 CacheAddressing.VIVT)), fast_settings)
     for bench in benchmarks:
         workload = load_benchmark(bench)
         for addressing in (CacheAddressing.VIPT, CacheAddressing.VIVT):

@@ -15,6 +15,7 @@ that via ``pa_block``.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
@@ -42,6 +43,13 @@ class CacheStats:
         self.misses = 0
         self.writebacks = 0
         self.evictions = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        return cls(**data)
 
 
 @dataclass

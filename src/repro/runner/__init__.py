@@ -1,0 +1,35 @@
+"""Parallel sweep engine with a persistent result store.
+
+Every figure and table of the reproduction is a batch of independent
+(workload, machine config, scheme set) simulations.  This subsystem turns
+that batch into first-class objects:
+
+* :class:`~repro.runner.jobspec.JobSpec` — one job, declaratively: a
+  workload *name* (resolved through :mod:`repro.workloads.registry`), a
+  :class:`~repro.config.MachineConfig`, a scheme set, and the simulation
+  window.  Hashable, JSON-serializable, content-addressed (:attr:`key`).
+* :class:`~repro.runner.store.ResultStore` — persists
+  :class:`~repro.sim.multi.CombinedRun` summaries as JSON under a cache
+  directory and answers repeat jobs before any simulation runs.
+* :class:`~repro.runner.sweep.SweepRunner` — fans job batches out over
+  ``multiprocessing`` workers with deterministic result ordering and
+  per-job error capture; ``workers=1`` runs serially in-process.
+
+The experiment harness (:mod:`repro.experiments.common`) routes every
+``combined_run`` through a shared store, and the ``repro sweep`` CLI
+subcommand exposes the runner directly.
+"""
+
+from repro.runner.jobspec import SPEC_FORMAT, JobSpec
+from repro.runner.store import STORE_FORMAT, ResultStore
+from repro.runner.sweep import JobResult, SweepRunner, SweepStats
+
+__all__ = [
+    "JobResult",
+    "JobSpec",
+    "ResultStore",
+    "SPEC_FORMAT",
+    "STORE_FORMAT",
+    "SweepRunner",
+    "SweepStats",
+]

@@ -1,0 +1,109 @@
+"""Declarative description of one simulation job.
+
+A :class:`JobSpec` is everything :func:`repro.sim.multi.run_all_schemes`
+needs, with the workload referenced *by registry name* instead of by
+object.  That makes a spec:
+
+* hashable and comparable (frozen dataclass);
+* JSON-round-trippable (:meth:`to_dict` / :meth:`from_dict`), so it can
+  cross a process boundary or live in a cache entry next to its result;
+* content-addressable: :attr:`key` is the SHA-256 of the canonical JSON
+  form, so two specs describing the same simulation collide by
+  construction — the property the :class:`~repro.runner.store.ResultStore`
+  is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+from repro.config import MachineConfig, SchemeName
+
+#: bump when the spec schema (or anything that invalidates cached
+#: results, e.g. simulator semantics) changes incompatibly; the format is
+#: hashed into every key, so old cache entries simply stop matching
+SPEC_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (workload, machine, scheme set) cell of a sweep."""
+
+    workload: str  #: registry name (see :mod:`repro.workloads.registry`)
+    config: MachineConfig
+    instructions: int
+    warmup: int = 0
+    #: None means every scheme (the :func:`run_all_schemes` default)
+    schemes: Optional[Tuple[SchemeName, ...]] = None
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.schemes is not None:
+            # canonicalize: coerce strings, drop duplicates, and fix the
+            # order (enum declaration order), so ("ia", "base") and
+            # (SchemeName.BASE, SchemeName.IA) are the same spec — and
+            # share a content key
+            order = tuple(SchemeName)
+            object.__setattr__(
+                self, "schemes",
+                tuple(sorted({SchemeName(s) for s in self.schemes},
+                             key=order.index)))
+
+    # -- identity ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SPEC_FORMAT,
+            "workload": self.workload,
+            "config": self.config.to_dict(),
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "schemes": (None if self.schemes is None
+                        else [s.value for s in self.schemes]),
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            workload=data["workload"],
+            config=MachineConfig.from_dict(data["config"]),
+            instructions=data["instructions"],
+            warmup=data["warmup"],
+            schemes=(None if data["schemes"] is None
+                     else tuple(SchemeName(s) for s in data["schemes"])),
+            engine=data["engine"],
+        )
+
+    @cached_property
+    def key(self) -> str:
+        """Content-addressed identity: SHA-256 over the canonical JSON
+        form.  Equal specs — however constructed — share a key.  Cached:
+        one sweep consults it several times per job (store lookups,
+        dedup bookkeeping, file naming)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        schemes = ("all" if self.schemes is None
+                   else "+".join(s.value for s in self.schemes))
+        return (f"{self.workload} [{self.config.il1_addressing.value}, "
+                f"iTLB {self.config.itlb.entries}] {schemes} "
+                f"{self.instructions:,}i/{self.warmup:,}w")
+
+    # -- execution -----------------------------------------------------
+
+    def run(self):
+        """Execute the job (no caching — callers wanting cache hits go
+        through :class:`~repro.runner.sweep.SweepRunner` or the store)."""
+        from repro.sim.multi import run_all_schemes
+        from repro.workloads.registry import resolve
+        return run_all_schemes(
+            resolve(self.workload), self.config,
+            instructions=self.instructions, warmup=self.warmup,
+            schemes=self.schemes, engine=self.engine)

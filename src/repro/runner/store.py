@@ -1,0 +1,150 @@
+"""Persistent, content-addressed store of simulation results.
+
+Entries are keyed by :attr:`JobSpec.key` and live as one JSON file per
+job under a cache directory, with an in-memory layer in front so a
+process never deserializes the same entry twice (and the experiment
+layer keeps its historical share-one-object-per-cell behaviour).
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed sweep
+  never leaves a half-written entry;
+* a corrupted or stale entry (unparsable JSON, schema mismatch, wrong
+  key) is treated as a miss, counted in :attr:`ResultStore.corrupt`, and
+  unlinked so the next ``put`` starts clean.
+
+``root=None`` gives a memory-only store — the default for the in-process
+experiment cache, where persistence is opt-in via ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.runner.jobspec import JobSpec
+from repro.sim.multi import CombinedRun
+
+#: on-disk entry schema version; mismatches are treated as corrupt
+STORE_FORMAT = 1
+
+
+class ResultStore:
+    """Cache of :class:`CombinedRun` results keyed by job content."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root: Optional[Path] = None if root is None else Path(root)
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, CombinedRun] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, spec: JobSpec) -> Optional[Path]:
+        """Where ``spec``'s entry lives on disk (None for memory-only).
+        The workload name is kept in the filename purely for humans; the
+        key alone identifies the entry."""
+        if self.root is None:
+            return None
+        slug = "".join(c if c.isalnum() or c in "._-" else "_"
+                       for c in spec.workload)
+        return self.root / f"{slug}.{spec.key[:16]}.json"
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, spec: JobSpec) -> Optional[CombinedRun]:
+        """The cached result for ``spec``, or None (a miss)."""
+        key = spec.key
+        cached = self._memory.get(key)
+        if cached is None:
+            cached = self._load(spec, key)
+            if cached is not None:
+                self._memory[key] = cached
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cached
+
+    def _load(self, spec: JobSpec, key: str) -> Optional[CombinedRun]:
+        path = self.path_for(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            # transient I/O trouble: a miss, but the entry may well be
+            # fine — leave it for the next reader
+            return None
+        try:
+            entry = json.loads(text)
+            if entry.get("format") != STORE_FORMAT:
+                raise ValueError(f"entry format {entry.get('format')!r}")
+            if entry.get("key") != key:
+                raise ValueError("entry key does not match spec")
+            return CombinedRun.from_dict(entry["result"])
+        except Exception:
+            # garbled/stale content: recover by quarantining the file
+            self.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    # -- insertion -----------------------------------------------------
+
+    def put(self, spec: JobSpec, run: CombinedRun) -> Optional[Path]:
+        """Record ``run`` as the result of ``spec``; returns the on-disk
+        path (None for memory-only stores)."""
+        key = spec.key
+        self._memory[key] = run
+        path = self.path_for(spec)
+        if path is None:
+            return None
+        entry = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "spec": spec.to_dict(),
+            "result": run.to_dict(),
+        }
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+        tmp.write_text(json.dumps(entry), encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()
+
+    def purge(self) -> int:
+        """Delete every on-disk entry — orphaned atomic-write temp files
+        included; returns files removed."""
+        self.clear()
+        removed = 0
+        if self.root is not None:
+            for path in self.root.glob("*.json*"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def describe(self) -> str:
+        where = "memory" if self.root is None else str(self.root)
+        return (f"ResultStore({where}: {len(self._memory)} in memory, "
+                f"{self.hits} hits / {self.misses} misses / "
+                f"{self.corrupt} corrupt)")

@@ -1,0 +1,185 @@
+"""Fan a batch of :class:`JobSpec` out over worker processes.
+
+Design points, in the order they matter:
+
+* **Cache first.**  Every spec is answered from the
+  :class:`~repro.runner.store.ResultStore` when possible; only misses
+  are simulated, and duplicate specs in one batch are simulated once.
+* **Deterministic.**  Results come back in input order regardless of
+  worker scheduling, and a parallel run produces results identical to a
+  serial one: each job is a self-contained simulation, and the dict
+  round-trip that carries a result across the process boundary is exact
+  (ints verbatim, floats by value).
+* **Fault isolated.**  A failing job becomes a :class:`JobResult` with
+  ``error`` set (full traceback); the rest of the sweep completes.
+  ``workers=1`` — or an environment where ``multiprocessing`` cannot
+  start (no semaphores in some sandboxes) — runs serially in-process.
+
+Workers receive spec *dicts* and return result *dicts*: both sides of
+the pipe are plain data, so nothing in the simulator needs to be
+picklable.  One start-method caveat: custom workload registrations
+(:func:`repro.workloads.registry.register`) live only in the parent
+process, so under a non-``fork`` start method their jobs are executed
+in-process while builtin workloads still go to the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.runner.jobspec import JobSpec
+from repro.runner.store import ResultStore
+from repro.sim.multi import CombinedRun
+
+
+def _execute_payload(payload: dict) -> Tuple[bool, dict]:
+    """Worker-side entry point: spec dict in, (ok, result-or-traceback)
+    out.  Module-level so every start method can import it."""
+    try:
+        run = JobSpec.from_dict(payload).run()
+        return True, run.to_dict()
+    except Exception:
+        return False, {"traceback": traceback.format_exc()}
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job in a sweep."""
+
+    spec: JobSpec
+    run: Optional[CombinedRun] = None
+    error: Optional[str] = None  #: traceback text when the job failed
+    cached: bool = False  #: answered by the store, no simulation ran
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.spec.key,
+            "cached": self.cached,
+            "error": self.error,
+            "spec": self.spec.to_dict(),
+            "result": None if self.run is None else self.run.to_dict(),
+        }
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepRunner.run` call did."""
+
+    jobs: int = 0
+    cached: int = 0
+    simulated: int = 0
+    failed: int = 0
+    deduplicated: int = 0
+    parallel: bool = False
+
+    def describe(self) -> str:
+        mode = "parallel" if self.parallel else "serial"
+        dedup = (f", {self.deduplicated} duplicate(s) shared"
+                 if self.deduplicated else "")
+        return (f"{self.jobs} jobs: {self.cached} from cache, "
+                f"{self.simulated} simulated ({mode}), "
+                f"{self.failed} failed{dedup}")
+
+
+class SweepRunner:
+    """Execute batches of jobs against a shared result store."""
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.last_stats = SweepStats()
+
+    def run(self, specs: Iterable[JobSpec]) -> List[JobResult]:
+        """Run every spec (cache, then simulate misses), returning one
+        :class:`JobResult` per input spec, in input order."""
+        specs = list(specs)
+        stats = SweepStats(jobs=len(specs))
+        results: List[Optional[JobResult]] = [None] * len(specs)
+
+        # answer what we can from the store; queue unique misses (one
+        # store probe per unique key, so stats stay honest)
+        indices_for: Dict[str, List[int]] = {}
+        queue: List[JobSpec] = []
+        for i, spec in enumerate(specs):
+            key = spec.key
+            if key in indices_for:
+                stats.deduplicated += 1
+                indices_for[key].append(i)
+                continue
+            cached = self.store.get(spec)
+            if cached is not None:
+                stats.cached += 1
+                results[i] = JobResult(spec, run=cached, cached=True)
+                continue
+            indices_for[key] = [i]
+            queue.append(spec)
+
+        stats.parallel = self.workers > 1 and len(queue) > 1
+        outcomes = (self._run_parallel(queue, stats) if stats.parallel
+                    else [self._run_one(spec) for spec in queue])
+
+        for spec, (run, error) in zip(queue, outcomes):
+            if run is not None:
+                self.store.put(spec, run)
+                stats.simulated += 1
+            else:
+                stats.failed += 1
+            for i in indices_for[spec.key]:
+                results[i] = JobResult(spec, run=run, error=error)
+
+        self.last_stats = stats
+        return results  # type: ignore[return-value]  # every slot filled
+
+    # -- execution backends --------------------------------------------
+
+    @staticmethod
+    def _run_one(spec: JobSpec
+                 ) -> Tuple[Optional[CombinedRun], Optional[str]]:
+        try:
+            return spec.run(), None
+        except Exception:
+            return None, traceback.format_exc()
+
+    def _run_parallel(self, queue: List[JobSpec], stats: SweepStats
+                      ) -> List[Tuple[Optional[CombinedRun], Optional[str]]]:
+        # a spawned/forkserver worker re-imports the registry from
+        # scratch, so only builtin workload names resolve there; jobs
+        # naming custom registrations must stay in this process
+        if multiprocessing.get_start_method() == "fork":
+            local = set()
+        else:
+            from repro.workloads.registry import is_builtin
+            local = {i for i, spec in enumerate(queue)
+                     if not is_builtin(spec.workload)}
+        remote = [spec for i, spec in enumerate(queue) if i not in local]
+        if len(remote) < 2:
+            stats.parallel = False
+            return [self._run_one(spec) for spec in queue]
+
+        payloads = [spec.to_dict() for spec in remote]
+        try:
+            with multiprocessing.Pool(min(self.workers,
+                                          len(remote))) as pool:
+                raw = pool.map(_execute_payload, payloads)
+        except OSError:
+            # restricted environments (no /dev/shm, no sem_open): the
+            # sweep still completes, just without parallelism
+            stats.parallel = False
+            return [self._run_one(spec) for spec in queue]
+        remote_outcomes = iter(
+            (CombinedRun.from_dict(payload), None) if ok
+            else (None, payload["traceback"])
+            for ok, payload in raw)
+        return [self._run_one(spec) if i in local
+                else next(remote_outcomes)
+                for i, spec in enumerate(queue)]

@@ -90,6 +90,35 @@ class CombinedRun:
             return 0.0
         return self.scheme(name).cycles / base
 
+    # -- serialization (the runner's ResultStore persists these) -----------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view of the run (inverse of :meth:`from_dict`).
+
+        When no instrumented scheme was requested ``instrumented`` aliases
+        ``plain``; that aliasing is encoded as ``None`` and restored on
+        reconstruction.
+        """
+        return {
+            "workload_name": self.workload_name,
+            "config": self.config.to_dict(),
+            "plain": self.plain.to_dict(),
+            "instrumented": (None if self.instrumented is self.plain
+                             else self.instrumented.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CombinedRun":
+        plain = EngineResult.from_dict(data["plain"])
+        instrumented = data["instrumented"]
+        return cls(
+            workload_name=data["workload_name"],
+            config=MachineConfig.from_dict(data["config"]),
+            plain=plain,
+            instrumented=(plain if instrumented is None
+                          else EngineResult.from_dict(instrumented)),
+        )
+
 
 def run_all_schemes(
     workload: SyntheticWorkload,

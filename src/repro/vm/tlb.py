@@ -16,6 +16,7 @@ Lookups return which structure(s) were probed so the energy accounting in
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
@@ -44,6 +45,13 @@ class TLBStats:
         self.misses = 0
         self.invalidations = 0
         self.flushes = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TLBStats":
+        return cls(**data)
 
 
 class TLB:

@@ -25,6 +25,7 @@ from repro.workloads.spec2000 import (
     spec2000_suite,
 )
 from repro.workloads import microbench
+from repro.workloads import registry
 
 __all__ = [
     "BENCHMARK_NAMES",
@@ -35,5 +36,6 @@ __all__ = [
     "load_benchmark",
     "microbench",
     "profile_for",
+    "registry",
     "spec2000_suite",
 ]

@@ -1,0 +1,183 @@
+"""Workload registry: string names resolve to runnable workloads.
+
+The sweep runner (:mod:`repro.runner`) describes jobs declaratively, so a
+job must be able to *name* its workload — a name survives JSON
+serialization and a trip through a worker process, a
+:class:`~repro.workloads.synthetic.SyntheticWorkload` object does not.
+This registry is the name space:
+
+* the six SPEC2000 stand-ins register under their SPEC names
+  (``"177.mesa"`` ...);
+* every microbenchmark builder registers under ``"micro.<name>"`` with
+  its default parameters;
+* callers add their own entries with :func:`register` (any zero-argument
+  factory) or :func:`register_profile` (a
+  :class:`~repro.workloads.synthetic.WorkloadProfile`, generated on first
+  resolve).
+
+Resolution is memoized per process: generating a workload is expensive
+(seconds for the SPEC profiles) and deterministic, so one instance per
+name is both safe and necessary for the experiment layer's pass sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import RegistryError
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    WorkloadProfile,
+    generate,
+)
+
+WorkloadFactory = Callable[[], SyntheticWorkload]
+
+_FACTORIES: Dict[str, WorkloadFactory] = {}
+_INSTANCES: Dict[str, SyntheticWorkload] = {}
+#: names whose current factory came from a caller (new names and
+#: builtin names overridden with ``replace=True``) — these exist only
+#: in this process
+_CUSTOM: set = set()
+_BUILTINS_LOADED = False
+
+#: microbenchmark builders exposed through the registry (name -> builder
+#: attribute on :mod:`repro.workloads.microbench`), at default parameters
+MICROBENCH_NAMES: Tuple[str, ...] = (
+    "counted_loop",
+    "page_ping_pong",
+    "straight_line",
+    "call_return",
+    "memory_walker",
+    "taken_pattern",
+)
+
+
+def register(name: str, factory: WorkloadFactory, *,
+             replace: bool = False) -> None:
+    """Bind ``name`` to a zero-argument workload factory.
+
+    Re-registering an existing name requires ``replace=True`` (and drops
+    any memoized instance built from the old factory).
+    """
+    _ensure_builtins()
+    if not name:
+        raise RegistryError("workload name must be non-empty")
+    if name in _FACTORIES and not replace:
+        raise RegistryError(
+            f"workload '{name}' is already registered "
+            "(pass replace=True to override)")
+    _FACTORIES[name] = factory
+    _CUSTOM.add(name)
+    _INSTANCES.pop(name, None)
+
+
+def register_profile(profile: WorkloadProfile, *,
+                     replace: bool = False) -> str:
+    """Register a synthetic profile under ``profile.name``; the workload
+    is generated lazily on first :func:`resolve`.  Returns the name."""
+    register(profile.name, lambda: generate(profile), replace=replace)
+    return profile.name
+
+
+def resolve(name: str) -> SyntheticWorkload:
+    """The workload registered under ``name`` (generated and memoized on
+    first use).  Raises :class:`KeyError` for unknown names."""
+    _ensure_builtins()
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown workload '{name}' (available: "
+            f"{', '.join(available())})")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def is_registered(name: str) -> bool:
+    _ensure_builtins()
+    return name in _FACTORIES
+
+
+def is_builtin(name: str) -> bool:
+    """True when ``name`` resolves identically in any fresh process (the
+    SPEC stand-ins and ``micro.*`` entries, *not* overridden).  Custom
+    registrations — including builtin names replaced via
+    ``register(..., replace=True)`` — exist only in the registering
+    process; the sweep runner uses this to keep their jobs out of
+    spawned workers."""
+    _ensure_builtins()
+    return name not in _CUSTOM and _builtin_factory(name) is not None
+
+
+def available() -> Tuple[str, ...]:
+    """All registered names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_FACTORIES))
+
+
+def unregister(name: str) -> None:
+    """Remove a registration.  A builtin name reverts to its builtin
+    factory (overrides don't outlive their usefulness); other names
+    disappear.  Unknown names are a no-op."""
+    _ensure_builtins()
+    _FACTORIES.pop(name, None)
+    _INSTANCES.pop(name, None)
+    _CUSTOM.discard(name)
+    builtin = _builtin_factory(name)
+    if builtin is not None:
+        _FACTORIES[name] = builtin
+
+
+# ---------------------------------------------------------------------------
+# Builtins
+# ---------------------------------------------------------------------------
+
+
+def _spec_factory(name: str) -> WorkloadFactory:
+    def build() -> SyntheticWorkload:
+        from repro.workloads.spec2000 import profile_for
+        return generate(profile_for(name))
+    return build
+
+
+def _micro_factory(name: str) -> WorkloadFactory:
+    def build() -> SyntheticWorkload:
+        from repro.workloads import microbench
+        module = getattr(microbench, name)()
+        # wrap the bare module so it runs anywhere a generated workload
+        # does (link plain or instrumented, at any page size)
+        return SyntheticWorkload(
+            profile=WorkloadProfile(name=f"micro.{name}"),
+            module=module,
+            chunks=[],
+            data_items=list(module.data),
+            call_graph={},
+        )
+    return build
+
+
+def _builtin_factory(name: str):
+    """The factory ``name`` gets in any fresh process, or None — the one
+    definition of what counts as builtin (shared by ``_ensure_builtins``,
+    ``is_builtin``, and ``unregister``'s revert)."""
+    from repro.workloads.spec2000 import BENCHMARK_NAMES
+    if name in BENCHMARK_NAMES:
+        return _spec_factory(name)
+    prefix = "micro."
+    if name.startswith(prefix) and name[len(prefix):] in MICROBENCH_NAMES:
+        return _micro_factory(name[len(prefix):])
+    return None
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    # imports are deferred into the factories: spec2000 itself resolves
+    # benchmarks through this module, so importing it here would cycle
+    from repro.workloads.spec2000 import BENCHMARK_NAMES
+    for name in BENCHMARK_NAMES:
+        _FACTORIES[name] = _spec_factory(name)
+    for name in MICROBENCH_NAMES:
+        _FACTORIES[f"micro.{name}"] = _micro_factory(name)

@@ -17,11 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.workloads.synthetic import (
-    SyntheticWorkload,
-    WorkloadProfile,
-    generate,
-)
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile
 
 BENCHMARK_NAMES: Tuple[str, ...] = (
     "177.mesa", "186.crafty", "191.fma3d", "252.eon", "254.gap",
@@ -203,9 +199,6 @@ _PROFILES: Dict[str, WorkloadProfile] = {
     ),
 }
 
-_CACHE: Dict[str, SyntheticWorkload] = {}
-
-
 def spec2000_suite() -> Dict[str, WorkloadProfile]:
     """All six benchmark profiles, keyed by SPEC name."""
     return dict(_PROFILES)
@@ -219,7 +212,12 @@ def profile_for(name: str) -> WorkloadProfile:
 
 
 def load_benchmark(name: str) -> SyntheticWorkload:
-    """Generate (and memoize) one benchmark's workload."""
-    if name not in _CACHE:
-        _CACHE[name] = generate(profile_for(name))
-    return _CACHE[name]
+    """Generate (and memoize) one benchmark's workload.
+
+    Resolution goes through the workload registry
+    (:mod:`repro.workloads.registry`), which owns the per-process
+    instance cache the sweep runner shares.
+    """
+    profile_for(name)  # unknown names fail with the historical message
+    from repro.workloads.registry import resolve
+    return resolve(name)

@@ -1,0 +1,322 @@
+"""The sweep runner subsystem: job specs, the result store, parallel
+sweeps, and dict round-tripping of results and configs.
+
+The acceptance-critical properties:
+
+* a parallel sweep produces byte-identical scheme counters/energies to
+  the serial path;
+* a repeated sweep is served entirely from the ResultStore (no
+  simulator calls on the second run);
+* a corrupted cache entry is recovered from, not fatal.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import (
+    CacheAddressing,
+    SchemeName,
+    TLBConfig,
+    TwoLevelTLBConfig,
+    default_config,
+)
+from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.runner.jobspec import SPEC_FORMAT
+from repro.sim.multi import CombinedRun
+
+
+def _spec(workload="micro.counted_loop", config=None, instructions=2_000,
+          warmup=200, **kwargs):
+    return JobSpec(workload=workload,
+                   config=config if config is not None else default_config(),
+                   instructions=instructions, warmup=warmup, **kwargs)
+
+
+def _canonical(run: CombinedRun) -> str:
+    """Byte-exact fingerprint of a run's counters and energies."""
+    return json.dumps(run.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def micro_run():
+    return _spec().run()
+
+
+class TestMachineConfigRoundTrip:
+    def test_default(self):
+        config = default_config(CacheAddressing.VIVT)
+        rebuilt = type(config).from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+    def test_two_level(self):
+        config = default_config().with_two_level_itlb(TwoLevelTLBConfig(
+            level1=TLBConfig(entries=1),
+            level2=TLBConfig(entries=32)))
+        rebuilt = type(config).from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.itlb_two_level.level2.entries == 32
+
+
+class TestCombinedRunRoundTrip:
+    def test_json_round_trip_is_lossless(self, micro_run):
+        data = json.loads(json.dumps(micro_run.to_dict()))
+        rebuilt = CombinedRun.from_dict(data)
+        assert rebuilt.to_dict() == micro_run.to_dict()
+
+    def test_rebuilt_run_answers_like_the_original(self, micro_run):
+        rebuilt = CombinedRun.from_dict(micro_run.to_dict())
+        for scheme in SchemeName:
+            assert (rebuilt.scheme(scheme).counters
+                    == micro_run.scheme(scheme).counters)
+            assert (rebuilt.normalized_energy(scheme)
+                    == micro_run.normalized_energy(scheme))
+            assert (rebuilt.normalized_cycles(scheme)
+                    == micro_run.normalized_cycles(scheme))
+
+    def test_plain_aliasing_restored(self):
+        run = _spec(schemes=(SchemeName.BASE, SchemeName.OPT)).run()
+        assert run.instrumented is run.plain
+        rebuilt = CombinedRun.from_dict(run.to_dict())
+        assert rebuilt.instrumented is rebuilt.plain
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = _spec(schemes=(SchemeName.BASE, SchemeName.IA))
+        rebuilt = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.key == spec.key
+
+    def test_scheme_strings_normalized(self):
+        by_enum = _spec(schemes=(SchemeName.IA,))
+        by_name = _spec(schemes=("ia",))
+        assert by_enum == by_name
+        assert by_enum.key == by_name.key
+
+    def test_scheme_order_and_duplicates_canonicalized(self):
+        a = _spec(schemes=(SchemeName.IA, SchemeName.BASE))
+        b = _spec(schemes=("base", "ia", "base"))
+        assert a == b
+        assert a.key == b.key
+        assert a.schemes == (SchemeName.BASE, SchemeName.IA)
+
+    def test_key_is_content_addressed(self):
+        spec = _spec()
+        same = _spec(config=default_config())  # equal but distinct config
+        assert same.key == spec.key
+        assert _spec(instructions=2_001).key != spec.key
+        assert _spec(workload="micro.call_return").key != spec.key
+        assert _spec(
+            config=default_config().with_itlb(TLBConfig(entries=8))
+        ).key != spec.key
+
+    def test_key_covers_format(self):
+        assert _spec().to_dict()["format"] == SPEC_FORMAT
+
+    def test_hashable(self):
+        assert len({_spec(), _spec(), _spec(instructions=999)}) == 2
+
+
+class TestResultStore:
+    def test_memory_only_hit(self, micro_run):
+        store = ResultStore()
+        spec = _spec()
+        assert store.get(spec) is None
+        store.put(spec, micro_run)
+        assert store.get(spec) is micro_run
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_disk_round_trip(self, tmp_path, micro_run):
+        spec = _spec()
+        ResultStore(tmp_path).put(spec, micro_run)
+        # a fresh store (fresh process, effectively) reads it back
+        reread = ResultStore(tmp_path).get(spec)
+        assert reread is not None
+        assert _canonical(reread) == _canonical(micro_run)
+
+    def test_corrupted_entry_recovered(self, tmp_path, micro_run):
+        spec = _spec()
+        store = ResultStore(tmp_path)
+        path = store.put(spec, micro_run)
+        path.write_text("{ not json", encoding="utf-8")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) is None  # miss, not an exception
+        assert fresh.corrupt == 1
+        assert not path.exists()  # quarantined
+        # and the slot is usable again
+        fresh.put(spec, micro_run)
+        assert ResultStore(tmp_path).get(spec) is not None
+
+    def test_key_mismatch_treated_as_corrupt(self, tmp_path, micro_run):
+        spec = _spec()
+        store = ResultStore(tmp_path)
+        path = store.put(spec, micro_run)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["key"] = "0" * 64
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) is None
+        assert fresh.corrupt == 1
+
+    def test_purge(self, tmp_path, micro_run):
+        store = ResultStore(tmp_path)
+        store.put(_spec(), micro_run)
+        store.put(_spec(instructions=999), micro_run)
+        assert store.purge() == 2
+        assert len(list(tmp_path.glob("*.json"))) == 0
+
+
+class TestSweepRunner:
+    #: 2 benchmarks x 2 iTLB sizes — the acceptance grid, kept small
+    GRID = [
+        JobSpec(workload=bench,
+                config=default_config().with_itlb(TLBConfig(entries=n)),
+                instructions=4_000, warmup=800)
+        for bench in ("177.mesa", "254.gap")
+        for n in (8, 32)
+    ]
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = SweepRunner(store=ResultStore(), workers=1).run(self.GRID)
+        parallel = SweepRunner(store=ResultStore(), workers=2)
+        results = parallel.run(self.GRID)
+        assert [r.spec for r in results] == self.GRID  # input order
+        for ser, par in zip(serial, results):
+            assert ser.ok and par.ok
+            assert _canonical(ser.run) == _canonical(par.run)
+
+    def test_second_invocation_runs_no_simulation(self, tmp_path,
+                                                  monkeypatch):
+        store = ResultStore(tmp_path)
+        first = SweepRunner(store=store, workers=2).run(self.GRID)
+        assert all(r.ok and not r.cached for r in first)
+
+        # a fresh runner over the same cache dir must not simulate:
+        # any path into the simulator now explodes
+        def boom(self):
+            raise AssertionError("simulator invoked on a cached sweep")
+        monkeypatch.setattr(JobSpec, "run", boom)
+        again = SweepRunner(store=ResultStore(tmp_path), workers=2)
+        second = again.run(self.GRID)
+        assert all(r.ok and r.cached for r in second)
+        assert again.last_stats.simulated == 0
+        for a, b in zip(first, second):
+            assert _canonical(a.run) == _canonical(b.run)
+
+    def test_duplicate_specs_simulated_once(self):
+        spec = _spec()
+        runner = SweepRunner(store=ResultStore(), workers=1)
+        results = runner.run([spec, dataclasses.replace(spec)])
+        assert runner.last_stats.simulated == 1
+        assert runner.last_stats.deduplicated == 1
+        assert results[0].run is results[1].run
+
+    def test_one_bad_job_does_not_kill_the_sweep(self):
+        specs = [_spec(), _spec(workload="no.such.workload")]
+        for workers in (1, 2):
+            results = SweepRunner(store=ResultStore(),
+                                  workers=workers).run(specs)
+            assert results[0].ok
+            assert not results[1].ok
+            assert "no.such.workload" in results[1].error
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_stats_describe(self):
+        runner = SweepRunner(store=ResultStore(), workers=1)
+        runner.run([_spec()])
+        text = runner.last_stats.describe()
+        assert "1 jobs" in text and "1 simulated" in text
+
+
+class TestCustomWorkloadsUnderSpawn:
+    """Custom registrations exist only in the parent process, so under a
+    non-fork start method their jobs must run in-process while builtin
+    jobs still go to the pool."""
+
+    @pytest.fixture()
+    def custom_name(self):
+        from repro.workloads import registry
+        from repro.workloads.spec2000 import profile_for
+        profile = dataclasses.replace(profile_for("177.mesa"),
+                                      name="custom.spawncheck", seed=99)
+        name = registry.register_profile(profile)
+        yield name
+        registry.unregister(name)
+
+    def test_custom_jobs_survive_spawn(self, custom_name, monkeypatch):
+        from repro.runner import sweep as sweep_mod
+        monkeypatch.setattr(sweep_mod.multiprocessing,
+                            "get_start_method", lambda: "spawn")
+        specs = [
+            _spec(workload=custom_name, instructions=1500, warmup=300),
+            _spec(instructions=1500, warmup=300),
+            _spec(workload="micro.call_return",
+                  instructions=1500, warmup=300),
+        ]
+        runner = SweepRunner(store=ResultStore(), workers=2)
+        results = runner.run(specs)
+        assert all(r.ok for r in results), \
+            [r.error for r in results if not r.ok]
+        assert [r.spec.workload for r in results] \
+            == [s.workload for s in specs]
+
+    def test_single_remote_job_falls_back_to_serial(self, custom_name,
+                                                    monkeypatch):
+        from repro.runner import sweep as sweep_mod
+        monkeypatch.setattr(sweep_mod.multiprocessing,
+                            "get_start_method", lambda: "spawn")
+        specs = [_spec(workload=custom_name, instructions=1500, warmup=300),
+                 _spec(instructions=1500, warmup=300)]
+        runner = SweepRunner(store=ResultStore(), workers=2)
+        results = runner.run(specs)
+        assert all(r.ok for r in results)
+        assert not runner.last_stats.parallel
+
+    def test_true_spawn_pool_runs_builtin_jobs(self, monkeypatch):
+        """Exercise a genuine spawn pool (fresh interpreters, worker-side
+        re-import of the registry), not just the partitioning logic."""
+        import multiprocessing
+        from repro.runner import sweep as sweep_mod
+        ctx = multiprocessing.get_context("spawn")
+        # the context object quacks like the module: Pool + start method
+        monkeypatch.setattr(sweep_mod, "multiprocessing", ctx)
+        specs = [_spec(instructions=1000, warmup=100),
+                 _spec(workload="micro.call_return",
+                       instructions=1000, warmup=100)]
+        runner = SweepRunner(store=ResultStore(), workers=2)
+        results = runner.run(specs)
+        assert all(r.ok for r in results), \
+            [r.error for r in results if not r.ok]
+        assert runner.last_stats.parallel
+
+    def test_replaced_builtin_name_runs_locally_under_spawn(self,
+                                                            monkeypatch):
+        """A builtin name overridden with replace=True must not be
+        shipped to spawned workers (they would resolve the original
+        builtin factory and silently simulate the wrong workload)."""
+        from repro.workloads import registry
+        from repro.workloads.spec2000 import profile_for
+        profile = dataclasses.replace(profile_for("177.mesa"), seed=424242)
+        registry.register("177.mesa", lambda: __import__(
+            "repro.workloads.synthetic", fromlist=["generate"]
+        ).generate(profile), replace=True)
+        try:
+            assert not registry.is_builtin("177.mesa")
+            from repro.runner import sweep as sweep_mod
+            monkeypatch.setattr(sweep_mod.multiprocessing,
+                                "get_start_method", lambda: "spawn")
+            specs = [_spec(workload="177.mesa",
+                           instructions=1500, warmup=300)]
+            serial = SweepRunner(store=ResultStore(), workers=1).run(specs)
+            parallel = SweepRunner(store=ResultStore(), workers=2).run(specs)
+            assert serial[0].ok and parallel[0].ok
+            assert _canonical(serial[0].run) == _canonical(parallel[0].run)
+        finally:
+            registry.unregister("177.mesa")
+            assert registry.is_builtin("177.mesa")  # builtin restored

@@ -77,6 +77,29 @@ class TestCombinedRun:
                               schemes=(SchemeName.BASE, SchemeName.OPT))
         assert set(run.plain.schemes) == {SchemeName.BASE, SchemeName.OPT}
 
+    def test_instrumented_base_copy_is_shadowed(self, mesa_run_vipt):
+        """The instrumented pass carries a Base copy purely for same-binary
+        normalization; the merged view must expose the plain-pass Base."""
+        plain_base = mesa_run_vipt.plain.schemes[SchemeName.BASE]
+        instr_base = mesa_run_vipt.instrumented.schemes[SchemeName.BASE]
+        assert instr_base is not plain_base
+        merged = mesa_run_vipt.schemes
+        assert merged[SchemeName.BASE] is plain_base
+        assert mesa_run_vipt.scheme(SchemeName.BASE) is plain_base
+        # the two Base results really come from different binaries, so
+        # shadowing the wrong way would corrupt Table 2's characteristics
+        assert mesa_run_vipt.instrumented.program_name \
+            == mesa_run_vipt.plain.program_name + "+instr"
+
+    def test_base_normalization_uses_same_binary_copy(self, mesa_run_vipt):
+        """IA normalizes against the instrumented pass's Base, not the
+        plain one, so layout noise cancels within a binary."""
+        instr_base = mesa_run_vipt.instrumented.schemes[SchemeName.BASE]
+        ia = mesa_run_vipt.scheme(SchemeName.IA)
+        expected = ia.energy.total_nj / instr_base.energy.total_nj
+        assert mesa_run_vipt.normalized_energy(SchemeName.IA) \
+            == pytest.approx(expected)
+
 
 class TestEnergyReattachment:
     def test_full_accounting_increases_energy(self, mesa_run_vipt):
@@ -169,3 +192,57 @@ class TestCLI:
     def test_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             cli_main(["simulate", "999.nope"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_python_dash_m_repro_smoke(self):
+        """``python -m repro`` dispatches to the CLI (subprocess, so the
+        __main__ path itself is exercised)."""
+        import os
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0
+        assert "repro-itlb" in proc.stdout
+
+
+class TestCLISweep:
+    ARGS = ["sweep", "--benchmarks", "micro.counted_loop",
+            "micro.call_return", "--itlb-entries", "8", "32",
+            "--instructions", "2000", "--warmup", "400"]
+
+    def test_sweep_table_output(self, capsys):
+        assert cli_main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "micro.counted_loop" in out and "8,FA" in out
+        assert "0 failed" in out
+
+    def test_sweep_json_output_and_cache(self, capsys, tmp_path):
+        import json
+        args = self.ARGS + ["--json", "--cache-dir", str(tmp_path)]
+        assert cli_main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["stats"]["simulated"] == 4
+        assert len(first["jobs"]) == 4
+        # repeat: served entirely from the on-disk store
+        assert cli_main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["stats"] == {**first["stats"], "cached": 4,
+                                   "simulated": 0, "parallel": False}
+        for a, b in zip(first["jobs"], second["jobs"]):
+            assert b["cached"] and a["result"] == b["result"]
+
+    def test_sweep_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--benchmarks", "not.a.workload"])

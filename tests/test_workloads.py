@@ -149,3 +149,57 @@ class TestSuiteOrderings:
                                    "predictor_accuracy_pct"}
         for paper_v, measured_v in comparison.values():
             assert paper_v >= 0 and measured_v >= 0
+
+
+class TestRegistry:
+    """The workload registry the sweep runner resolves names through."""
+
+    def test_builtins_available(self):
+        from repro.workloads import registry
+        names = registry.available()
+        for bench in BENCHMARK_NAMES:
+            assert bench in names
+        for micro in registry.MICROBENCH_NAMES:
+            assert f"micro.{micro}" in names
+
+    def test_resolve_memoizes(self):
+        from repro.workloads import registry
+        assert registry.resolve("177.mesa") is registry.resolve("177.mesa")
+
+    def test_load_benchmark_shares_registry_instance(self):
+        from repro.workloads import registry
+        assert load_benchmark("254.gap") is registry.resolve("254.gap")
+
+    def test_unknown_name_raises_keyerror(self):
+        from repro.workloads import registry
+        with pytest.raises(KeyError):
+            registry.resolve("not.registered")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import RegistryError
+        from repro.workloads import registry
+        with pytest.raises(RegistryError):
+            registry.register("177.mesa", lambda: None)
+
+    def test_register_profile_and_unregister(self):
+        from repro.workloads import registry
+        profile = profile_for("177.mesa")
+        import dataclasses
+        custom = dataclasses.replace(profile, name="custom.test", seed=7)
+        try:
+            name = registry.register_profile(custom)
+            assert name == "custom.test"
+            workload = registry.resolve(name)
+            assert workload.profile.seed == 7
+        finally:
+            registry.unregister("custom.test")
+        assert not registry.is_registered("custom.test")
+
+    def test_micro_workloads_link_both_ways(self):
+        from repro.workloads import registry
+        workload = registry.resolve("micro.counted_loop")
+        plain = workload.link(page_bytes=4096)
+        instrumented = workload.link(page_bytes=4096, instrumented=True)
+        assert not plain.instrumented
+        assert instrumented.instrumented
+        assert len(plain.instructions) > 0
