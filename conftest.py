@@ -1,0 +1,17 @@
+"""Repo-level pytest configuration.
+
+Adds ``--update-golden``: rewrites the golden-number regression assets
+under ``tests/golden/`` (the checked-in trace and its expected metrics,
+plus the Table 2 / Figure 4 headline numbers) instead of comparing
+against them.  Use it when a simulator change *intentionally* moves the
+numbers, then commit the regenerated files alongside the change:
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/ assets instead of asserting "
+             "against them")

@@ -10,7 +10,8 @@ energy model (:mod:`repro.energy`), the paper's CFR-based iTLB policies
 SPEC2000-calibrated workloads with a name registry
 (:mod:`repro.workloads`), two execution engines (:mod:`repro.cpu`), a
 simulation facade (:mod:`repro.sim`), a parallel sweep runner with a
-persistent result store (:mod:`repro.runner`), and the table/figure
+persistent result store (:mod:`repro.runner`), trace record/replay of
+committed instruction streams (:mod:`repro.trace`), and the table/figure
 reproduction harness (:mod:`repro.experiments`).
 
 Quickstart::
@@ -54,8 +55,15 @@ from repro.errors import (
     RegistryError,
     ReproError,
     SimulationError,
+    TraceError,
 )
 from repro.runner import JobResult, JobSpec, ResultStore, SweepRunner
+from repro.trace import (
+    TraceRecorder,
+    TraceWorkload,
+    load_trace_workload,
+    record_trace,
+)
 from repro.sim import CombinedRun, Simulator, attach_energy, run_all_schemes
 from repro.cpu import (
     EngineResult,
@@ -114,6 +122,9 @@ __all__ = [
     "TLBConfig",
     "TWO_LEVEL_MONOLITHIC_BASELINES",
     "TWO_LEVEL_SWEEP",
+    "TraceError",
+    "TraceRecorder",
+    "TraceWorkload",
     "TwoLevelTLBConfig",
     "WorkloadProfile",
     "attach_energy",
@@ -121,6 +132,8 @@ __all__ = [
     "generate",
     "itlb_sweep_label",
     "load_benchmark",
+    "load_trace_workload",
+    "record_trace",
     "run_all_schemes",
     "spec2000_suite",
     "summarize_result",

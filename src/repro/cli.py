@@ -7,9 +7,16 @@ Subcommands:
 * ``sweep``        — batch workloads x iTLB sizes through the parallel
   sweep runner (``--workers``), with a persistent result cache
   (``--cache-dir``) and machine-readable output (``--json``)
+* ``trace``        — ``record`` a workload's committed instruction
+  stream to a trace file, or print a file's ``info``
+* ``cache``        — ``list`` / ``stats`` / ``purge`` a result-store
+  cache directory
 * ``calibrate``    — print the workload-calibration report
 * ``config``       — print the default (Table 1) machine
-* ``simulate``     — one benchmark, all schemes, summary output
+* ``simulate``     — one workload, all schemes, summary output
+
+Workload arguments accept any registry name: the six SPEC stand-ins,
+``micro.*`` microbenchmarks, and recorded ``trace:<path>`` files.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from repro.config import (
     default_config,
     itlb_sweep_label,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.experiments.common import TableResult, default_settings
 from repro.experiments.report import (
     ALL_EXPERIMENTS,
@@ -39,7 +46,7 @@ from repro.cpu.results import summarize_result
 from repro.runner import JobSpec, ResultStore, SweepRunner
 from repro.sim.multi import run_all_schemes
 from repro.workloads.calibration import calibration_report
-from repro.workloads.spec2000 import BENCHMARK_NAMES, load_benchmark
+from repro.workloads.spec2000 import BENCHMARK_NAMES
 from repro.workloads import registry
 
 
@@ -50,11 +57,27 @@ def _add_sim_args(parser: argparse.ArgumentParser, *,
     parser.add_argument("--warmup", type=int, default=20_000,
                         help="warmup instructions before measurement")
     parser.add_argument("--benchmarks", nargs="*", default=None,
-                        choices=list(BENCHMARK_NAMES),
-                        help="subset of benchmarks (default: all six)")
+                        metavar="WORKLOAD",
+                        help="registry workload names (SPEC stand-ins, "
+                             "micro.*, trace:<path>; default: the six "
+                             "SPEC stand-ins)")
     if workers:
         parser.add_argument("--workers", type=int, default=1,
                             help="worker processes for simulation batches")
+
+
+def _check_workloads(names, parser: argparse.ArgumentParser) -> None:
+    """Fail fast on unresolvable workload names (including trace files
+    that do not exist)."""
+    for name in names:
+        if not registry.is_registered(name):
+            if name.startswith(registry.TRACE_PREFIX):
+                parser.error(
+                    f"trace file not found: "
+                    f"'{name[len(registry.TRACE_PREFIX):]}'")
+            parser.error(
+                f"unknown workload '{name}' (choose from "
+                f"{', '.join(registry.available())}, or trace:<path>)")
 
 
 def _settings(args: argparse.Namespace):
@@ -66,12 +89,8 @@ def _settings(args: argparse.Namespace):
 
 def _run_sweep(args: argparse.Namespace,
                parser: argparse.ArgumentParser) -> int:
+    # names were validated by main() before dispatch
     names = args.benchmarks if args.benchmarks else list(BENCHMARK_NAMES)
-    known = set(registry.available())
-    for name in names:
-        if name not in known:
-            parser.error(f"unknown workload '{name}' "
-                         f"(choose from {', '.join(sorted(known))})")
     schemes = (tuple(SchemeName(s) for s in args.schemes)
                if args.schemes else None)
     entries = args.itlb_entries if args.itlb_entries else None
@@ -137,6 +156,109 @@ def _run_sweep(args: argparse.Namespace,
     return 1 if stats.failed else 0
 
 
+def _run_trace(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from repro.trace import TraceReader, record_trace
+
+    if args.trace_command == "record":
+        _check_workloads([args.workload], parser)
+        config = default_config(CacheAddressing(args.il1))
+        try:
+            record_trace(args.workload, config,
+                         instructions=args.instructions,
+                         warmup=args.warmup, path=args.output,
+                         page_sizes=args.page_sizes)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        info = TraceReader(args.output).info()
+        print(f"recorded {args.workload} -> {args.output}")
+        for segment in info["segments"]:
+            print(f"  {segment['binary']} "
+                  f"@{segment['meta'].get('page_bytes', '?')}B pages: "
+                  f"{segment['steps']:,} steps, "
+                  f"{segment['distinct_instructions']:,} distinct "
+                  "instructions")
+        print(f"  sha256 {info['digest']}")
+        print(f"replay with: repro sweep --benchmarks trace:{args.output}")
+        return 0
+    # info
+    try:
+        info = TraceReader(args.file).info()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    def count(value) -> str:
+        return f"{value:,}" if isinstance(value, int) else str(value)
+
+    header = info["header"]
+    print(f"{info['path']} (trace format v{info['version']})")
+    print(f"  workload     {header.get('workload', '?')}")
+    print(f"  window       {count(header.get('instructions', '?'))} "
+          f"instructions + {count(header.get('warmup', '?'))} warmup")
+    print(f"  page size    {header.get('page_bytes', '?')} bytes")
+    print(f"  sha256       {info['digest']}")
+    for segment in info["segments"]:
+        meta = segment["meta"]
+        print(f"  segment      {segment['binary']} "
+              f"@{meta.get('page_bytes', '?')}B pages: "
+              f"{segment['steps']:,} steps, "
+              f"{segment['distinct_instructions']:,} distinct "
+              f"instructions, program '{meta.get('name', '?')}'")
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    import os
+    if not os.path.isdir(args.cache_dir):
+        # inspection must never create the directory it inspects: a
+        # typo'd path should fail, not report a plausible empty cache
+        print(f"error: no such cache directory: {args.cache_dir}",
+              file=sys.stderr)
+        return 1
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "purge":
+        removed = store.purge()
+        print(f"purged {removed} file(s) from {args.cache_dir}")
+        return 0
+    if args.cache_command == "stats":
+        stats = store.disk_stats()
+        print(f"cache {stats['root']}: {stats['entries']} entries, "
+              f"{stats['bytes']:,} bytes"
+              + (f", {stats['unreadable']} unreadable"
+                 if stats["unreadable"] else "")
+              + (f", {stats['orphaned_tmp_files']} orphaned temp file(s)"
+                 if stats["orphaned_tmp_files"] else ""))
+        for workload, count in stats["by_workload"].items():
+            print(f"  {workload}: {count} entr{'y' if count == 1 else 'ies'}")
+        return 0
+    # list
+    entries = store.disk_entries()
+    if not entries:
+        print(f"cache {args.cache_dir}: empty")
+        return 0
+    table = TableResult(
+        experiment_id="Cache",
+        title=str(args.cache_dir),
+        columns=["workload", "instructions", "engine", "key", "bytes",
+                 "ok"],
+    )
+    for entry in entries:
+        table.add_row(**{
+            "workload": entry["workload"] or "?",
+            "instructions": entry["instructions"] or "?",
+            "engine": entry["engine"] or "?",
+            "key": (entry["key"] or "?")[:16],
+            "bytes": entry["bytes"],
+            "ok": "yes" if entry["ok"] else "NO",
+        })
+    print(table.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-itlb",
@@ -182,14 +304,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "records, including the normalization Base "
                               "pass even under --schemes)")
 
+    p_trace = sub.add_parser(
+        "trace", help="record and inspect instruction traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_record = trace_sub.add_parser(
+        "record", help="record a workload's committed stream to a file")
+    t_record.add_argument("workload",
+                          help="registry workload name to record")
+    t_record.add_argument("-o", "--output", required=True,
+                          help="trace file to write (.gz compresses)")
+    t_record.add_argument("--instructions", type=int, default=120_000,
+                          help="useful instructions to record per binary "
+                               "(replays can use any window up to "
+                               "warmup + instructions)")
+    t_record.add_argument("--warmup", type=int, default=20_000)
+    t_record.add_argument("--il1", default="vi-pt",
+                          choices=[a.value for a in CacheAddressing],
+                          help="recording configuration (only the page "
+                               "size binds the trace; any same-page-size "
+                               "machine can replay it)")
+    t_record.add_argument("--page-sizes", nargs="*", type=int, default=None,
+                          metavar="BYTES",
+                          help="record extra binary pairs at these page "
+                               "sizes too (needed for the page-size "
+                               "sensitivity sweep)")
+    t_info = trace_sub.add_parser("info", help="describe a trace file")
+    t_info.add_argument("file")
+    t_info.add_argument("--json", action="store_true")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clean a result-store cache directory")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for verb, text in (("list", "one line per cached result"),
+                       ("stats", "aggregate size and per-workload counts"),
+                       ("purge", "delete every entry and temp file")):
+        p_verb = cache_sub.add_parser(verb, help=text)
+        p_verb.add_argument("--cache-dir", required=True,
+                            help="the directory given to sweep/report")
+
     p_cal = sub.add_parser("calibrate",
                            help="workload calibration vs paper targets")
     _add_sim_args(p_cal)
 
     sub.add_parser("config", help="print the Table 1 machine")
 
-    p_sim = sub.add_parser("simulate", help="simulate one benchmark")
-    p_sim.add_argument("benchmark", choices=list(BENCHMARK_NAMES))
+    p_sim = sub.add_parser("simulate", help="simulate one workload")
+    p_sim.add_argument("benchmark", metavar="WORKLOAD",
+                       help="registry workload name (SPEC stand-in, "
+                            "micro.*, or trace:<path>)")
     p_sim.add_argument("--il1", default="vi-pt",
                        choices=[a.value for a in CacheAddressing])
     _add_sim_args(p_sim)
@@ -198,7 +360,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if getattr(args, "workers", 1) < 1:
         parser.error("--workers must be >= 1")
+    if getattr(args, "benchmarks", None):
+        _check_workloads(args.benchmarks, parser)
 
+    try:
+        return _dispatch(args, parser)
+    except ReproError as exc:
+        # user-input failures (exhausted/corrupt traces, inconsistent
+        # configs) get one clean line, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> int:
     if args.command == "report":
         write_experiments_md(args.output, _settings(args))
         return 0
@@ -208,6 +383,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args, parser)
+    if args.command == "trace":
+        return _run_trace(args, parser)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "calibrate":
         print(calibration_report(instructions=args.instructions,
                                  warmup=args.warmup))
@@ -216,9 +395,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(default_config().describe())
         return 0
     if args.command == "simulate":
+        _check_workloads([args.benchmark], parser)
         config = default_config(CacheAddressing(args.il1))
         settings = _settings(args)
-        run = run_all_schemes(load_benchmark(args.benchmark), config,
+        run = run_all_schemes(registry.resolve(args.benchmark), config,
                               instructions=settings.instructions,
                               warmup=settings.warmup)
         print(summarize_result(run.plain))

@@ -38,7 +38,6 @@ from repro.core.schemes import (
     SchemeCounters,
     build_all_policies,
 )
-from repro.cpu.functional import Executor
 from repro.cpu.results import EngineResult, SchemeResult, SharedStats
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
@@ -54,12 +53,17 @@ class FastEngine:
     """Single-pass multi-scheme simulator."""
 
     def __init__(self, program: Program, config: MachineConfig,
-                 schemes: Optional[Sequence[SchemeName]] = None) -> None:
+                 schemes: Optional[Sequence[SchemeName]] = None,
+                 recorder=None) -> None:
         self.program = program
         self.config = config
         self.addressing = config.mem.il1_addressing
         self.space = AddressSpace(program)
-        self.executor = Executor(program, self.space)
+        self.executor = program.make_executor(self.space)
+        if recorder is not None:
+            # trace capture: every committed StepResult is written to the
+            # recorder's trace file as a side effect of stepping
+            self.executor = recorder.attach(self.executor, program)
         self.hier = MemoryHierarchy(config.mem)
         self.predictor = FrontEndPredictor(config.branch)
         self.dtlb = TLB(config.dtlb, name="dtlb")

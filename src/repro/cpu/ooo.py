@@ -34,7 +34,7 @@ from typing import Dict, List, Optional
 from repro.branch.predictor import FrontEndPredictor, Prediction
 from repro.config import CacheAddressing, MachineConfig, SchemeName
 from repro.core.schemes import ITLBPolicy, LookupReason, build_policy
-from repro.cpu.functional import Executor, StepResult
+from repro.cpu.functional import StepResult
 from repro.cpu.results import EngineResult, SchemeResult, SharedStats
 from repro.errors import SimulationError
 from repro.isa.instructions import InstrKind, Opcode
@@ -90,7 +90,7 @@ class OutOfOrderEngine:
         self.scheme_name = scheme
         self.addressing = config.mem.il1_addressing
         self.space = AddressSpace(program)
-        self.executor = Executor(program, self.space)
+        self.executor = program.make_executor(self.space)
         self.hier = MemoryHierarchy(config.mem)
         self.predictor = FrontEndPredictor(config.branch)
         self.dtlb = TLB(config.dtlb, name="dtlb")

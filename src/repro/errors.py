@@ -56,5 +56,13 @@ class RegistryError(ReproError):
     """An invalid workload registration (duplicate or empty name)."""
 
 
+class TraceError(ReproError):
+    """A trace file could not be read, written, or replayed.
+
+    Every failure mode of the trace subsystem — bad magic, unsupported
+    version, truncated or corrupt streams, exhausted replays — surfaces
+    as this type, never as a bare ``struct.error``/``EOFError``."""
+
+
 class CalibrationError(ReproError):
     """A workload profile failed to meet its calibration targets."""

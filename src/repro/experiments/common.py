@@ -38,6 +38,9 @@ class ExperimentSettings:
 
     instructions: int = 120_000
     warmup: int = 20_000
+    #: registry workload names: the SPEC stand-ins by default, but any
+    #: resolvable name works, including recorded ``trace:<path>``
+    #: workloads (whose simulation window must fit the recorded one)
     benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
     #: worker processes ``prefetch`` fans simulation out over (1 = serial)
     workers: int = 1
@@ -194,7 +197,17 @@ class TableResult:
 
 
 def short_name(benchmark: str) -> str:
-    """'177.mesa' -> 'mesa' (the paper uses both forms)."""
+    """Display form of a workload name: '177.mesa' -> 'mesa' (the paper
+    uses both forms); 'trace:runs/mesa.trace.gz' -> 'mesa.trace' (the
+    file's base name, so table rows stay readable)."""
+    from repro.workloads.registry import TRACE_PREFIX
+    if benchmark.startswith(TRACE_PREFIX):
+        stem = benchmark[len(TRACE_PREFIX):].replace("\\", "/").rsplit(
+            "/", 1)[-1]
+        for suffix in (".gz", ".trace"):
+            if stem.endswith(suffix):
+                stem = stem[:-len(suffix)]
+        return f"{stem}.trace"
     return benchmark.split(".", 1)[1] if "." in benchmark else benchmark
 
 

@@ -29,7 +29,6 @@ from repro.config import (
 )
 from repro.core.dcfr import DataCFR
 from repro.cpu.fast import FastEngine
-from repro.cpu.functional import Executor
 from repro.energy.cacti import CactiLikeModel
 from repro.experiments.common import (
     ExperimentSettings,
@@ -43,7 +42,7 @@ from repro.experiments.common import (
 from repro.sim.simulator import Simulator
 from repro.vm.os_model import AddressSpace
 from repro.vm.tlb import TLB
-from repro.workloads.spec2000 import load_benchmark
+from repro.workloads.registry import resolve
 
 
 def run_dcfr(settings: Optional[ExperimentSettings] = None) -> TableResult:
@@ -59,11 +58,13 @@ def run_dcfr(settings: Optional[ExperimentSettings] = None) -> TableResult:
                  "dtlb lookups avoided %", "energy % of base dTLB"],
     )
     for bench in settings.benchmarks:
-        workload = load_benchmark(bench)
+        workload = resolve(bench)
         program = workload.link(page_bytes=config.mem.page_bytes)
         for registers in (1, 2, 4):
             space = AddressSpace(program)
-            executor = Executor(program, space)
+            # via the program's executor hook: a replayed trace feeds
+            # its recorded data-address stream through the dCFR
+            executor = program.make_executor(space)
             executor.run(settings.warmup)
             dtlb = TLB(config.dtlb, name="dtlb")
             dcfr = DataCFR(dtlb, space.page_table,
@@ -110,7 +111,14 @@ def run_layout(settings: Optional[ExperimentSettings] = None) -> TableResult:
     )
     simulator = Simulator(config)
     for bench in settings.benchmarks:
-        workload = load_benchmark(bench)
+        workload = resolve(bench)
+        if not getattr(workload, "chunks", None):
+            # layout transformation needs the generator's static chunks;
+            # recorded traces and bare-module workloads have none
+            result.notes.append(
+                f"{short_name(bench)}: skipped (no static chunks to lay "
+                "out — only generated workloads can be re-linked)")
+            continue
         for label, module in (
             ("original", original_layout(workload.chunks,
                                          workload.module.data)),

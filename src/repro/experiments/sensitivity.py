@@ -76,22 +76,52 @@ def run_il1(settings: Optional[ExperimentSettings] = None) -> TableResult:
     return result
 
 
+def _replayable_sizes(bench: str) -> frozenset:
+    """The page sizes ``bench`` can simulate at.  Generated workloads
+    link at any size; a recorded trace only has the (plain,
+    instrumented) segment pairs it was recorded with
+    (``record_trace(..., page_sizes=...)``) — probed with one decode of
+    the file, not one per swept size."""
+    from repro.workloads.registry import TRACE_PREFIX, resolve
+    if not bench.startswith(TRACE_PREFIX):
+        return frozenset(PAGE_SWEEP)
+    segments = resolve(bench).trace.segments
+    plain = {s.page_bytes for s in segments if s.binary == "plain"}
+    instrumented = {s.page_bytes for s in segments
+                    if s.binary == "instrumented"}
+    return frozenset(PAGE_SWEEP) & plain & instrumented
+
+
 def run_page_size(settings: Optional[ExperimentSettings] = None
                   ) -> TableResult:
     settings = settings or default_settings()
+    sizes_for = {bench: _replayable_sizes(bench)
+                 for bench in settings.benchmarks}
+    cells = [(bench, page_bytes)
+             for page_bytes in PAGE_SWEEP
+             for bench in settings.benchmarks
+             if page_bytes in sizes_for[bench]]
     prefetch(((bench, default_config(CacheAddressing.VIPT)
                .with_page_bytes(page_bytes))
-              for page_bytes in PAGE_SWEEP
-              for bench in settings.benchmarks), settings)
+              for bench, page_bytes in cells), settings)
     result = TableResult(
         experiment_id="Sensitivity (page size)",
         title="IA and OPT (VI-PT) across page sizes",
         columns=["page", "benchmark", "page crossings/kinst",
                  "ia energy % of base", "opt energy % of base"],
     )
+    for bench in settings.benchmarks:
+        if len(sizes_for[bench]) < len(PAGE_SWEEP):
+            result.notes.append(
+                f"{short_name(bench)}: partial (trace not recorded at "
+                "every swept page size; re-record with --page-sizes "
+                + " ".join(str(p) for p in PAGE_SWEEP) + ")")
+    cell_set = set(cells)
     for page_bytes in PAGE_SWEEP:
         label = f"{page_bytes // 1024}KB"
         for bench in settings.benchmarks:
+            if (bench, page_bytes) not in cell_set:
+                continue
             cfg = default_config(CacheAddressing.VIPT) \
                 .with_page_bytes(page_bytes)
             run_ = combined_run(bench, cfg, settings)

@@ -20,7 +20,7 @@ from repro.experiments.common import (
     prefetch,
     short_name,
 )
-from repro.workloads.spec2000 import PAPER_REFERENCE
+from repro.workloads.spec2000 import paper_row_for
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
@@ -49,7 +49,7 @@ def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
                             settings)
         vivt = combined_run(bench, default_config(CacheAddressing.VIVT),
                             settings)
-        paper = PAPER_REFERENCE[bench]
+        paper = paper_row_for(bench)
         shared = vipt.shared
         base_vipt = vipt.scheme(SchemeName.BASE)
         base_vivt = vivt.scheme(SchemeName.BASE)

@@ -20,7 +20,8 @@ from repro.experiments.common import (
     short_name,
 )
 from repro.workloads.calibration import _dynamic_branch_classes
-from repro.workloads.spec2000 import PAPER_REFERENCE, load_benchmark
+from repro.workloads.registry import resolve
+from repro.workloads.spec2000 import paper_row_for
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
@@ -37,13 +38,16 @@ def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
     )
     config = default_config()
     for bench in settings.benchmarks:
-        workload = load_benchmark(bench)
+        # registry resolution, so trace: workloads run too (their static
+        # half is empty — a replay carries no static text — while the
+        # dynamic half classifies the recorded stream)
+        workload = resolve(bench)
         program = workload.link(page_bytes=config.mem.page_bytes)
         static = analyze_program(program)
         analyzable, in_page, total = _dynamic_branch_classes(
             workload, config, instructions=settings.instructions,
             warmup=settings.warmup)
-        paper = PAPER_REFERENCE[bench]
+        paper = paper_row_for(bench)
         result.add_row(**{
             "benchmark": short_name(bench),
             "static total": static.total,

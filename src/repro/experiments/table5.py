@@ -18,7 +18,7 @@ from repro.experiments.common import (
     prefetch,
     short_name,
 )
-from repro.workloads.spec2000 import PAPER_REFERENCE
+from repro.workloads.spec2000 import paper_row_for
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
@@ -42,7 +42,7 @@ def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
         result.add_row(**{
             "benchmark": short_name(bench),
             "accuracy %": 100.0 * stats.accuracy,
-            "paper %": PAPER_REFERENCE[bench].predictor_accuracy,
+            "paper %": paper_row_for(bench).predictor_accuracy,
             "conditional %": 100.0 * cond_acc,
             "indirect %": 100.0 * ind_acc,
         })

@@ -40,8 +40,23 @@ class JobSpec:
     #: None means every scheme (the :func:`run_all_schemes` default)
     schemes: Optional[Tuple[SchemeName, ...]] = None
     engine: str = "fast"
+    #: content identity of file-backed workloads.  ``trace:<path>``
+    #: names resolve to whatever bytes the file holds, so the spec's
+    #: identity must cover them: the file's SHA-256 is computed here
+    #: (unless supplied, e.g. by :meth:`from_dict`) and hashed into
+    #: :attr:`key`, so editing a trace can never yield a stale
+    #: :class:`~repro.runner.store.ResultStore` hit.  Always ``None``
+    #: for registry-generated workloads, whose name is their identity.
+    workload_digest: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.workloads.registry import TRACE_PREFIX
+        if (self.workload_digest is None
+                and self.workload.startswith(TRACE_PREFIX)):
+            from repro.trace.format import file_digest
+            object.__setattr__(
+                self, "workload_digest",
+                file_digest(self.workload[len(TRACE_PREFIX):]))
         if self.schemes is not None:
             # canonicalize: coerce strings, drop duplicates, and fix the
             # order (enum declaration order), so ("ia", "base") and
@@ -56,7 +71,7 @@ class JobSpec:
     # -- identity ------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": SPEC_FORMAT,
             "workload": self.workload,
             "config": self.config.to_dict(),
@@ -66,6 +81,12 @@ class JobSpec:
                         else [s.value for s in self.schemes]),
             "engine": self.engine,
         }
+        # only present for file-backed workloads, so the canonical form
+        # (and every existing cache key) of name-identified specs is
+        # unchanged
+        if self.workload_digest is not None:
+            data["workload_digest"] = self.workload_digest
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
@@ -77,6 +98,7 @@ class JobSpec:
             schemes=(None if data["schemes"] is None
                      else tuple(SchemeName(s) for s in data["schemes"])),
             engine=data["engine"],
+            workload_digest=data.get("workload_digest"),
         )
 
     @cached_property

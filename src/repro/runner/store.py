@@ -122,6 +122,65 @@ class ResultStore:
 
     # -- maintenance ---------------------------------------------------
 
+    def disk_entries(self) -> list:
+        """Describe every on-disk entry (for ``repro cache list``):
+        one dict per file with path, size, mtime, and — when the entry
+        parses — its key, workload, instruction window, and engine.
+        Unparsable files are reported with ``ok=False``, not deleted
+        (that is :meth:`purge`'s job, or :meth:`get`'s on next lookup).
+        """
+        entries = []
+        if self.root is None:
+            return entries
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            record = {
+                "path": path,
+                "bytes": stat.st_size,
+                "mtime": stat.st_mtime,
+                "ok": False,
+                "key": None,
+                "workload": None,
+                "instructions": None,
+                "engine": None,
+            }
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                spec = entry.get("spec", {})
+                record.update(
+                    ok=entry.get("format") == STORE_FORMAT,
+                    key=entry.get("key"),
+                    workload=spec.get("workload"),
+                    instructions=spec.get("instructions"),
+                    engine=spec.get("engine"),
+                )
+            except (OSError, ValueError):
+                pass
+            entries.append(record)
+        return entries
+
+    def disk_stats(self) -> dict:
+        """Aggregate view of the cache directory (for
+        ``repro cache stats``)."""
+        entries = self.disk_entries()
+        by_workload: Dict[str, int] = {}
+        for record in entries:
+            name = record["workload"] or "<unreadable>"
+            by_workload[name] = by_workload.get(name, 0) + 1
+        tmp_files = (0 if self.root is None
+                     else sum(1 for _ in self.root.glob("*.json.tmp*")))
+        return {
+            "root": None if self.root is None else str(self.root),
+            "entries": len(entries),
+            "bytes": sum(record["bytes"] for record in entries),
+            "unreadable": sum(1 for r in entries if not r["ok"]),
+            "orphaned_tmp_files": tmp_files,
+            "by_workload": dict(sorted(by_workload.items())),
+        }
+
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
         self._memory.clear()

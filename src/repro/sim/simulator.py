@@ -66,21 +66,29 @@ class Simulator:
     def run_program(self, program: Program, *, instructions: int,
                     warmup: int = 0,
                     schemes: Optional[Sequence[SchemeName]] = None,
-                    engine: str = "fast") -> EngineResult:
+                    engine: str = "fast", recorder=None) -> EngineResult:
         """Simulate ``program`` and return a result with energy attached.
 
         ``engine="fast"`` evaluates all requested schemes in one pass;
         ``engine="ooo"`` runs the detailed core and requires exactly one
-        scheme.
+        scheme.  A :class:`~repro.trace.record.TraceRecorder` passed as
+        ``recorder`` captures the committed instruction stream of the run
+        into a trace file (fast engine only: the detailed core's
+        wrong-path fetches are not part of the committed stream).
         """
         if program.page_bytes != self.config.mem.page_bytes:
             raise ConfigError(
                 f"program linked for {program.page_bytes}-byte pages but "
                 f"machine uses {self.config.mem.page_bytes}-byte pages"
             )
+        if recorder is not None and engine != "fast":
+            raise ConfigError(
+                "trace recording requires the fast engine (the detailed "
+                "core executes speculative wrong-path work that is not "
+                "part of the committed stream)")
         if engine == "fast":
-            result = FastEngine(program, self.config,
-                                schemes=schemes).run(instructions, warmup)
+            result = FastEngine(program, self.config, schemes=schemes,
+                                recorder=recorder).run(instructions, warmup)
         elif engine == "ooo":
             selected = tuple(schemes) if schemes else (SchemeName.IA,)
             if len(selected) != 1:

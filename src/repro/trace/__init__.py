@@ -1,0 +1,49 @@
+"""Trace-driven workloads: record, inspect, and replay instruction streams.
+
+The paper's evaluation is driven by instruction streams; this subsystem
+makes streams first-class.  :class:`~repro.trace.record.TraceRecorder`
+captures the committed stream of any live run into a versioned,
+self-describing binary file (:mod:`repro.trace.format`), and
+:class:`~repro.trace.replay.TraceWorkload` replays such a file through
+the unchanged TLB/cache/branch/energy machinery — bit-identical to the
+recorded run, and sweepable over any configuration that shares the
+trace's page size.
+
+Trace files enter the rest of the system by *name*: the workload
+registry resolves ``trace:<path>``, and :class:`~repro.runner.JobSpec`
+content-addresses such workloads by the file's SHA-256
+(:func:`~repro.trace.format.file_digest`), so the ResultStore can never
+serve stale results for an edited trace.  The ``repro trace`` CLI
+(``record`` / ``info``) fronts this module.
+"""
+
+from repro.trace.format import (
+    TRACE_VERSION,
+    TraceFile,
+    TraceReader,
+    TraceSegment,
+    TraceWriter,
+    file_digest,
+)
+from repro.trace.record import TraceRecorder, record_trace
+from repro.trace.replay import (
+    ReplayProgram,
+    TraceExecutor,
+    TraceWorkload,
+    load_trace_workload,
+)
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceFile",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceSegment",
+    "TraceWorkload",
+    "TraceWriter",
+    "TraceExecutor",
+    "ReplayProgram",
+    "file_digest",
+    "load_trace_workload",
+    "record_trace",
+]

@@ -1,0 +1,507 @@
+"""The versioned binary trace format and its streaming reader/writer.
+
+A trace file captures the *committed* instruction stream of one workload
+exactly as the engines consumed it, so replaying it reproduces every
+counter and energy bit for bit.  The layout (all integers little-endian):
+
+```
+file      := preamble segment* TAG_END_TRACE
+preamble  := magic(8) version(u16) flags(u16) hlen(u32) header(hlen bytes)
+segment   := TAG_SEGMENT mlen(u32) meta(mlen bytes) item* TAG_END_SEGMENT
+item      := TAG_STATIC static | TAG_STEP step
+static    := address(u32) op(u8) rd(u8) rs(u8) rt(u8) imm(i32)
+             target(u32, 0xFFFFFFFF = none) flags(u8)
+step      := index(u32) aux
+aux       := taken(u8)      -- conditional branches
+           | next_pc(u32)   -- indirect jumps/calls
+           | mem_addr(u32)  -- loads/stores
+           | ''             -- everything else
+```
+
+``header`` and ``meta`` are UTF-8 JSON.  The header records how the
+trace was made (workload name, instruction window, page size); each
+segment's meta records which binary it captures (``plain`` or
+``instrumented``) and the program geometry replay needs to rebuild the
+address space (text/data extents, entry point — frame allocation is
+deterministic given those, see :mod:`repro.vm.page_table`).
+
+Static entries define the distinct instructions of the stream in first-
+execution order; step records reference them by index, carrying only the
+dynamic facts the instruction itself cannot supply.  ``op`` is the
+declaration index in :class:`~repro.isa.instructions.Opcode` — reordering
+that enum is a format break and requires a :data:`TRACE_VERSION` bump
+(the golden-trace regression test pins this).
+
+Files whose name ends in ``.gz`` are written gzip-compressed (with a
+zeroed mtime, so identical streams produce identical bytes — the
+property :attr:`JobSpec.workload_digest` content-addressing relies on);
+the reader sniffs the gzip magic instead of trusting the suffix.  Every
+read-side failure — bad magic, unsupported version, truncation, corrupt
+gzip, dangling step index — raises :class:`~repro.errors.TraceError`.
+
+Versioning rules: ``TRACE_VERSION`` is bumped whenever the preamble,
+tag set, record layouts, or opcode numbering change incompatibly; the
+reader rejects every version it was not built for.  Additive metadata
+(new header/meta JSON keys) is *not* a version bump — readers ignore
+keys they do not know.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import TraceError
+from repro.isa.instructions import ANALYZABLE_KINDS, Instruction, Opcode
+
+MAGIC = b"RITLBTRC"
+TRACE_VERSION = 1
+
+TAG_SEGMENT = 0x01
+TAG_STATIC = 0x02
+TAG_STEP = 0x03
+TAG_END_SEGMENT = 0x04
+TAG_END_TRACE = 0x05
+
+_PREAMBLE = struct.Struct("<8sHHI")
+_STATIC = struct.Struct("<IBBBBiIB")
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_NO_TARGET = 0xFFFFFFFF
+
+_STATIC_FLAG_INPAGE = 0x01
+_STATIC_FLAG_BOUNDARY = 0x02
+
+#: opcode <-> wire number (enum declaration order; part of the format)
+_OP_TO_NUM: Dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+_NUM_TO_OP: Dict[int, Opcode] = {i: op for op, i in _OP_TO_NUM.items()}
+
+#: aux payload discriminator, derived from the static entry's kind
+AUX_NONE, AUX_TAKEN, AUX_NEXT_PC, AUX_MEM_ADDR = 0, 1, 2, 3
+
+
+def aux_kind(kind_code: int) -> int:
+    """Which dynamic payload a step record of this instruction kind
+    carries (the record layout is derived, not stored)."""
+    if kind_code == 8:  # COND_BRANCH
+        return AUX_TAKEN
+    if kind_code in (11, 12):  # INDIRECT_JUMP / INDIRECT_CALL
+        return AUX_NEXT_PC
+    if kind_code in (6, 7):  # LOAD / STORE
+        return AUX_MEM_ADDR
+    return AUX_NONE
+
+
+def program_meta(program, binary: str) -> dict:
+    """The segment metadata replay needs: which binary this is, plus the
+    program geometry that makes :class:`~repro.vm.os_model.AddressSpace`
+    construction (and therefore frame allocation) deterministic."""
+    return {
+        "binary": binary,
+        "name": program.name,
+        "text_base": program.text_base,
+        "text_words": len(program.instructions),
+        "data_base": program.data_base,
+        "data_size": program.data_size,
+        "entry": program.entry,
+        "page_bytes": program.page_bytes,
+        "instrumented": program.instrumented,
+        "boundary_branch_count": program.boundary_branch_count,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+class TraceWriter:
+    """Streaming trace writer (one pass, constant memory).
+
+    Use as a context manager; :meth:`begin_segment` opens a segment for
+    each binary pass and :meth:`write_step` appends one committed
+    :class:`~repro.cpu.functional.StepResult`, interning its instruction
+    into the segment's static table on first sight.
+    """
+
+    def __init__(self, path: Union[str, Path], *, header: dict) -> None:
+        self.path = Path(path)
+        try:
+            raw = open(self.path, "wb")
+        except OSError as exc:
+            raise TraceError(
+                f"cannot write trace {self.path}: {exc}") from exc
+        if self.path.name.endswith(".gz"):
+            # zeroed mtime + no filename: identical streams -> identical
+            # bytes, so re-recording an unchanged workload keeps its
+            # content digest (and every cache key derived from it)
+            self._fh = gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                                     mtime=0)
+            self._raw = raw
+        else:
+            self._fh = raw
+            self._raw = None
+        self.steps_written = 0
+        self.segments_written = 0
+        self._in_segment = False
+        self._intern: Dict[int, int] = {}
+        self._statics = 0
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        self._fh.write(_PREAMBLE.pack(MAGIC, TRACE_VERSION, 0,
+                                      len(header_bytes)))
+        self._fh.write(header_bytes)
+
+    # -- segments ------------------------------------------------------
+
+    def begin_segment(self, meta: dict) -> None:
+        if self._in_segment:
+            self.end_segment()
+        meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+        self._fh.write(_U8.pack(TAG_SEGMENT))
+        self._fh.write(_U32.pack(len(meta_bytes)))
+        self._fh.write(meta_bytes)
+        self._in_segment = True
+        self._intern = {}
+        self._statics = 0
+        self.segments_written += 1
+
+    def end_segment(self) -> None:
+        if self._in_segment:
+            self._fh.write(_U8.pack(TAG_END_SEGMENT))
+            self._in_segment = False
+
+    # -- records -------------------------------------------------------
+
+    def _intern_instruction(self, instr: Instruction) -> int:
+        index = self._statics
+        flags = ((_STATIC_FLAG_INPAGE if instr.inpage_hint else 0)
+                 | (_STATIC_FLAG_BOUNDARY if instr.is_boundary_branch else 0))
+        target = _NO_TARGET if instr.target is None else instr.target
+        self._fh.write(_U8.pack(TAG_STATIC))
+        self._fh.write(_STATIC.pack(instr.address, _OP_TO_NUM[instr.op],
+                                    instr.rd, instr.rs, instr.rt,
+                                    instr.imm, target, flags))
+        self._intern[id(instr)] = index
+        self._statics = index + 1
+        return index
+
+    def write_step(self, step) -> None:
+        """Append one committed step (a
+        :class:`~repro.cpu.functional.StepResult`)."""
+        if not self._in_segment:
+            raise TraceError("write_step outside a segment "
+                             "(call begin_segment first)")
+        instr = step.instr
+        index = self._intern.get(id(instr))
+        if index is None:
+            index = self._intern_instruction(instr)
+        self._fh.write(_U8.pack(TAG_STEP))
+        self._fh.write(_U32.pack(index))
+        kind = aux_kind(instr.kind_code)
+        if kind == AUX_TAKEN:
+            self._fh.write(_U8.pack(1 if step.taken else 0))
+        elif kind == AUX_NEXT_PC:
+            self._fh.write(_U32.pack(step.next_pc))
+        elif kind == AUX_MEM_ADDR:
+            self._fh.write(_U32.pack(step.mem_addr))
+        self.steps_written += 1
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self.end_segment()
+        self._fh.write(_U8.pack(TAG_END_TRACE))
+        self._fh.close()
+        if self._raw is not None:
+            self._raw.close()
+        self._fh = None
+
+    def abort(self) -> None:
+        """Discard the output: close without finalizing and delete the
+        partial file.  A recording that died mid-run must not leave a
+        well-formed-looking trace whose header promises a window it
+        never captured."""
+        if self._fh is None:
+            return
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        if self._raw is not None:
+            try:
+                self._raw.close()
+            except OSError:
+                pass
+        self._fh = None
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceSegment:
+    """One fully-decoded binary pass of a trace."""
+
+    meta: dict
+    #: interned static instructions, in first-execution order
+    instructions: List[Instruction] = field(default_factory=list)
+    #: dynamic stream: (static index, aux payload; -1 when none)
+    records: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def binary(self) -> str:
+        return self.meta.get("binary", "plain")
+
+    @property
+    def page_bytes(self) -> int:
+        return self.meta["page_bytes"]
+
+    def describe(self) -> str:
+        return (f"{self.binary}: {len(self.records):,} steps over "
+                f"{len(self.instructions):,} distinct instructions "
+                f"({self.meta.get('name', '?')}, "
+                f"{self.page_bytes}-byte pages)")
+
+
+@dataclass
+class TraceFile:
+    """A decoded trace: creation header plus one segment per binary."""
+
+    path: Path
+    header: dict
+    segments: List[TraceSegment]
+
+    @property
+    def workload_name(self) -> str:
+        return self.header.get("workload", str(self.path))
+
+    def segment_for(self, *, instrumented: bool,
+                    page_bytes: int) -> TraceSegment:
+        wanted = "instrumented" if instrumented else "plain"
+        for segment in self.segments:
+            if (segment.binary == wanted
+                    and segment.page_bytes == page_bytes):
+                return segment
+        have = ", ".join(
+            f"{s.binary}@{s.page_bytes}B" for s in self.segments) or "none"
+        raise TraceError(
+            f"{self.path}: no {wanted} segment for {page_bytes}-byte pages "
+            f"(trace contains: {have}); re-record the trace for this "
+            "configuration")
+
+
+class _StreamReader:
+    """Byte-level reading with truncation/corruption mapped to
+    :class:`TraceError`."""
+
+    def __init__(self, fh, path: Path) -> None:
+        self._fh = fh
+        self._path = path
+
+    def exact(self, count: int, what: str) -> bytes:
+        try:
+            data = self._fh.read(count)
+        except (OSError, EOFError, zlib.error) as exc:
+            raise TraceError(
+                f"{self._path}: corrupt trace stream while reading {what} "
+                f"({exc})") from exc
+        if len(data) != count:
+            raise TraceError(
+                f"{self._path}: truncated trace (wanted {count} bytes of "
+                f"{what}, got {len(data)})")
+        return data
+
+    def json(self, length: int, what: str) -> dict:
+        raw = self.exact(length, what)
+        try:
+            value = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceError(
+                f"{self._path}: corrupt {what} block ({exc})") from exc
+        if not isinstance(value, dict):
+            raise TraceError(f"{self._path}: {what} block is not an object")
+        return value
+
+
+class TraceReader:
+    """Parse a trace file; :meth:`read` decodes everything, and
+    :meth:`info` summarizes without materializing instruction objects."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def _open(self):
+        try:
+            raw = open(self.path, "rb")
+        except OSError as exc:
+            raise TraceError(f"cannot open trace {self.path}: {exc}") from exc
+        head = raw.read(2)
+        raw.seek(0)
+        if head == b"\x1f\x8b":
+            return gzip.GzipFile(fileobj=raw, mode="rb"), raw
+        return raw, None
+
+    def _read_preamble(self, stream: _StreamReader) -> dict:
+        magic, version, _flags, hlen = _PREAMBLE.unpack(
+            stream.exact(_PREAMBLE.size, "preamble"))
+        if magic != MAGIC:
+            raise TraceError(
+                f"{self.path}: not a repro trace (bad magic {magic!r})")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"{self.path}: unsupported trace version {version} "
+                f"(this build reads version {TRACE_VERSION})")
+        return stream.json(hlen, "header")
+
+    def read(self) -> TraceFile:
+        """Decode the whole trace into memory."""
+        fh, raw = self._open()
+        try:
+            stream = _StreamReader(fh, self.path)
+            header = self._read_preamble(stream)
+            segments: List[TraceSegment] = []
+            segment: Optional[TraceSegment] = None
+            aux_kinds: List[int] = []
+            while True:
+                tag = stream.exact(1, "record tag")[0]
+                if tag == TAG_END_TRACE:
+                    break
+                if tag == TAG_SEGMENT:
+                    (mlen,) = _U32.unpack(stream.exact(4, "segment meta size"))
+                    segment = TraceSegment(
+                        meta=stream.json(mlen, "segment meta"))
+                    segments.append(segment)
+                    aux_kinds = []
+                    continue
+                if segment is None:
+                    raise TraceError(
+                        f"{self.path}: record tag {tag:#x} outside a segment")
+                if tag == TAG_END_SEGMENT:
+                    segment = None
+                elif tag == TAG_STATIC:
+                    instr = self._decode_static(
+                        stream.exact(_STATIC.size, "static entry"))
+                    segment.instructions.append(instr)
+                    aux_kinds.append(aux_kind(instr.kind_code))
+                elif tag == TAG_STEP:
+                    (index,) = _U32.unpack(stream.exact(4, "step index"))
+                    if index >= len(aux_kinds):
+                        raise TraceError(
+                            f"{self.path}: step references static entry "
+                            f"{index} before its definition")
+                    kind = aux_kinds[index]
+                    if kind == AUX_TAKEN:
+                        aux = stream.exact(1, "branch outcome")[0]
+                    elif kind in (AUX_NEXT_PC, AUX_MEM_ADDR):
+                        (aux,) = _U32.unpack(stream.exact(4, "step payload"))
+                    else:
+                        aux = -1
+                    segment.records.append((index, aux))
+                else:
+                    raise TraceError(
+                        f"{self.path}: unknown record tag {tag:#x}")
+            if segment is not None:
+                raise TraceError(f"{self.path}: unterminated segment")
+            return TraceFile(path=self.path, header=header,
+                             segments=segments)
+        finally:
+            fh.close()
+            if raw is not None:
+                raw.close()
+
+    def _decode_static(self, payload: bytes) -> Instruction:
+        address, opnum, rd, rs, rt, imm, target, flags = _STATIC.unpack(
+            payload)
+        op = _NUM_TO_OP.get(opnum)
+        if op is None:
+            raise TraceError(f"{self.path}: unknown opcode number {opnum}")
+        if op.kind in ANALYZABLE_KINDS and target == _NO_TARGET:
+            # direct control flow must carry its taken target or replay
+            # would produce a None next_pc deep inside the engine
+            raise TraceError(
+                f"{self.path}: direct control instruction "
+                f"({op.mnemonic}) at {address:#010x} has no target")
+        return Instruction(
+            op, rd=rd, rs=rs, rt=rt, imm=imm,
+            target=None if target == _NO_TARGET else target,
+            inpage_hint=bool(flags & _STATIC_FLAG_INPAGE),
+            is_boundary_branch=bool(flags & _STATIC_FLAG_BOUNDARY),
+            address=address)
+
+    def info(self) -> dict:
+        """Header plus per-segment step/static counts (full decode, but
+        no :class:`TraceFile` retained)."""
+        trace = self.read()
+        return {
+            "path": str(self.path),
+            "version": TRACE_VERSION,
+            "header": trace.header,
+            "digest": file_digest(self.path),
+            "segments": [
+                {
+                    "binary": s.binary,
+                    "steps": len(s.records),
+                    "distinct_instructions": len(s.instructions),
+                    "meta": s.meta,
+                }
+                for s in trace.segments
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+#: (realpath, size, mtime_ns) -> sha256; re-hashing is skipped while the
+#: stat signature is unchanged, so JobSpec construction stays cheap in
+#: wide sweeps over one trace
+_DIGESTS: Dict[Tuple[str, int, int], str] = {}
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of the trace file's bytes (the identity JobSpec hashes
+    into its cache key, so editing a trace invalidates its results)."""
+    real = os.path.realpath(str(path))
+    try:
+        stat = os.stat(real)
+    except OSError as exc:
+        raise TraceError(f"cannot stat trace {path}: {exc}") from exc
+    signature = (real, stat.st_size, stat.st_mtime_ns)
+    cached = _DIGESTS.get(signature)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    try:
+        with open(real, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    value = digest.hexdigest()
+    _DIGESTS[signature] = value
+    return value

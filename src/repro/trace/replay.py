@@ -1,0 +1,184 @@
+"""Replay: run a recorded trace through the live simulation machinery.
+
+A :class:`TraceWorkload` is a drop-in workload: ``link()`` yields a
+:class:`ReplayProgram` whose executor feeds the recorded stream back to
+the engine instead of architecturally executing instructions.  Because
+the fast engine derives *everything* — iTLB scheme decisions, cache and
+predictor behaviour, page-crossing classification, timing — from the
+committed :class:`~repro.cpu.functional.StepResult` stream plus
+deterministic address-space construction, a replay is bit-identical to
+the live run it was recorded from (the record→replay equivalence suite
+in ``tests/test_trace_replay.py`` pins this per workload).
+
+Replays are valid for any simulation window up to the recorded one and
+for any machine configuration sharing the trace's page size: the
+committed stream is purely architectural, so iTLB sizes, scheme sets,
+iL1 addressing disciplines, and energy models can all be swept over one
+trace file.  The detailed out-of-order engine is *not* replayable — it
+fetches speculative wrong-path instructions the committed stream does
+not contain — and fails with a :class:`~repro.errors.TraceError`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.cpu.functional import StepResult
+from repro.errors import ExecutionError, TraceError
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.trace.format import TraceFile, TraceReader, TraceSegment
+from repro.workloads.synthetic import WorkloadProfile
+
+
+class TraceExecutor:
+    """Replays a recorded segment as a stream of StepResults.
+
+    Mirrors the :class:`~repro.cpu.functional.Executor` surface the
+    engines use (``pc``, ``halted``, ``retired``, ``step()``, ``run()``).
+    """
+
+    def __init__(self, segment: TraceSegment) -> None:
+        self._instrs: List[Instruction] = segment.instructions
+        self._records: List[Tuple[int, int]] = segment.records
+        self._pos = 0
+        self.retired = 0
+        self.halted = False
+        # the pc the engine observes before each step: the next record's
+        # address (matches the live executor, whose pc always points at
+        # the instruction about to execute)
+        self.pc = (self._instrs[self._records[0][0]].address
+                   if self._records else 0)
+
+    def step(self) -> StepResult:
+        if self.halted:
+            raise ExecutionError("stepping a halted executor")
+        if self._pos >= len(self._records):
+            raise TraceError(
+                f"trace exhausted after {self._pos:,} steps; the requested "
+                "simulation window (warmup + instructions) is longer than "
+                "the recorded one — re-record with a larger window")
+        index, aux = self._records[self._pos]
+        instr = self._instrs[index]
+        pc = instr.address
+        kind = instr.kind_code
+        taken = False
+        mem_addr = None
+        is_store = False
+        if kind == 8:  # COND_BRANCH
+            taken = bool(aux)
+            next_pc = instr.target if taken else pc + 4
+        elif kind in (9, 10):  # JUMP / CALL: static target
+            taken = True
+            next_pc = instr.target
+        elif kind in (11, 12):  # indirect: recorded target
+            taken = True
+            next_pc = aux
+        elif kind == 6:  # LOAD
+            mem_addr = aux
+            next_pc = pc + 4
+        elif kind == 7:  # STORE
+            mem_addr = aux
+            is_store = True
+            next_pc = pc + 4
+        elif kind == 14:  # HALT
+            next_pc = pc
+            self.halted = True
+        else:
+            next_pc = pc + 4
+        self._pos += 1
+        self.retired += 1
+        self.pc = next_pc
+        return StepResult(pc=pc, instr=instr, next_pc=next_pc, taken=taken,
+                          mem_addr=mem_addr, is_store=is_store)
+
+    def run(self, max_instructions: int) -> int:
+        """Functional-run counterpart (used by the calibration helpers)."""
+        start = self.retired
+        while not self.halted and self.retired - start < max_instructions:
+            self.step()
+        return self.retired - start
+
+    @property
+    def remaining(self) -> int:
+        return len(self._records) - self._pos
+
+
+class ReplayProgram(Program):
+    """A program reconstructed from a trace segment's metadata.
+
+    Carries the geometry (text/data extents, entry, page size) that
+    makes address-space construction — and thus VPN→PFN assignment —
+    identical to the recorded run, but no static text: replay only ever
+    sees the committed stream.
+    """
+
+    def __init__(self, segment: TraceSegment) -> None:
+        meta = segment.meta
+        super().__init__(
+            text_base=meta["text_base"],
+            instructions=[],
+            labels={},
+            data_base=meta["data_base"],
+            data_words={},
+            data_size=meta["data_size"],
+            entry=meta["entry"],
+            page_bytes=meta["page_bytes"],
+            instrumented=meta.get("instrumented", False),
+            boundary_branch_count=meta.get("boundary_branch_count", 0),
+            name=meta.get("name", "trace"),
+        )
+        self.segment = segment
+        self._text_words = meta["text_words"]
+
+    # geometry comes from the metadata, not the (empty) instruction list
+
+    @property
+    def text_size(self) -> int:
+        return 4 * self._text_words
+
+    def __len__(self) -> int:
+        return self._text_words
+
+    def fetch(self, pc: int) -> Instruction:
+        raise TraceError(
+            "replay programs carry no static text: only the committed "
+            "stream was recorded, so the detailed (ooo) engine and other "
+            "wrong-path consumers cannot run a trace — use the fast engine")
+
+    def make_executor(self, space) -> TraceExecutor:
+        return TraceExecutor(self.segment)
+
+
+class TraceWorkload:
+    """A recorded trace, usable wherever a generated workload is.
+
+    ``profile.name`` is the *recorded* workload's name, so a replayed
+    :class:`~repro.sim.multi.CombinedRun` is indistinguishable from —
+    and bit-identical to — the live run it captures.
+    """
+
+    def __init__(self, path: Union[str, Path], trace: TraceFile) -> None:
+        self.path = Path(path)
+        self.trace = trace
+        self.profile = WorkloadProfile(name=trace.workload_name)
+
+    def link(self, *, page_bytes: int = 4096,
+             instrumented: bool = False) -> ReplayProgram:
+        """The replay image for one recorded binary pass."""
+        segment = self.trace.segment_for(instrumented=instrumented,
+                                         page_bytes=page_bytes)
+        return ReplayProgram(segment)
+
+    def describe(self) -> str:
+        lines = [f"trace {self.path} ({self.profile.name})"]
+        lines.extend(f"  {segment.describe()}"
+                     for segment in self.trace.segments)
+        return "\n".join(lines)
+
+
+def load_trace_workload(path: Union[str, Path]) -> TraceWorkload:
+    """Read ``path`` and wrap it as a workload (raises
+    :class:`~repro.errors.TraceError` on any malformed input)."""
+    return TraceWorkload(path, TraceReader(path).read())

@@ -102,12 +102,13 @@ def _dynamic_branch_classes(workload: SyntheticWorkload,
                             warmup: int) -> tuple[int, int, int]:
     """Count (analyzable, analyzable-and-in-page, total) over the dynamic
     control instructions of the committed stream — Table 4's dynamic half."""
-    from repro.cpu.functional import Executor
     from repro.vm.os_model import AddressSpace
 
     program = workload.link(page_bytes=config.mem.page_bytes)
     space = AddressSpace(program)
-    executor = Executor(program, space)
+    # through the program's executor hook, so replayed traces classify
+    # their recorded stream instead of re-executing
+    executor = program.make_executor(space)
     executor.run(warmup)
     page_bytes = config.mem.page_bytes
     analyzable = in_page = total = 0

@@ -10,19 +10,26 @@ This registry is the name space:
   (``"177.mesa"`` ...);
 * every microbenchmark builder registers under ``"micro.<name>"`` with
   its default parameters;
+* recorded instruction traces resolve under ``trace:<path>`` (see
+  :mod:`repro.trace`) — the path is the registration, no explicit
+  :func:`register` call needed;
 * callers add their own entries with :func:`register` (any zero-argument
   factory) or :func:`register_profile` (a
   :class:`~repro.workloads.synthetic.WorkloadProfile`, generated on first
   resolve).
 
-Resolution is memoized per process: generating a workload is expensive
-(seconds for the SPEC profiles) and deterministic, so one instance per
-name is both safe and necessary for the experiment layer's pass sharing.
+Resolution of generated workloads is memoized per process: generating a
+workload is expensive (seconds for the SPEC profiles) and deterministic,
+so one instance per name is both safe and necessary for the experiment
+layer's pass sharing.  ``trace:`` names are *not* memoized — the file is
+re-read on every resolve, so an edited trace is never served stale
+(loading a trace is cheap next to simulating it).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+import os
+from typing import TYPE_CHECKING, Callable, Dict, Tuple, Union
 
 from repro.errors import RegistryError
 from repro.workloads.synthetic import (
@@ -31,7 +38,14 @@ from repro.workloads.synthetic import (
     generate,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.replay import TraceWorkload
+
 WorkloadFactory = Callable[[], SyntheticWorkload]
+
+#: names with this prefix resolve to recorded traces; the remainder of
+#: the name is the file path
+TRACE_PREFIX = "trace:"
 
 _FACTORIES: Dict[str, WorkloadFactory] = {}
 _INSTANCES: Dict[str, SyntheticWorkload] = {}
@@ -63,6 +77,10 @@ def register(name: str, factory: WorkloadFactory, *,
     _ensure_builtins()
     if not name:
         raise RegistryError("workload name must be non-empty")
+    if name.startswith(TRACE_PREFIX):
+        raise RegistryError(
+            f"the '{TRACE_PREFIX}' prefix is reserved for trace files "
+            "(the path after the prefix is the registration)")
     if name in _FACTORIES and not replace:
         raise RegistryError(
             f"workload '{name}' is already registered "
@@ -80,10 +98,15 @@ def register_profile(profile: WorkloadProfile, *,
     return profile.name
 
 
-def resolve(name: str) -> SyntheticWorkload:
+def resolve(name: str) -> Union[SyntheticWorkload, "TraceWorkload"]:
     """The workload registered under ``name`` (generated and memoized on
-    first use).  Raises :class:`KeyError` for unknown names."""
+    first use; ``trace:`` names load the file fresh every time).  Raises
+    :class:`KeyError` for unknown names and
+    :class:`~repro.errors.TraceError` for unreadable traces."""
     _ensure_builtins()
+    if name.startswith(TRACE_PREFIX):
+        from repro.trace.replay import load_trace_workload
+        return load_trace_workload(name[len(TRACE_PREFIX):])
     if name not in _FACTORIES:
         raise KeyError(
             f"unknown workload '{name}' (available: "
@@ -95,17 +118,21 @@ def resolve(name: str) -> SyntheticWorkload:
 
 def is_registered(name: str) -> bool:
     _ensure_builtins()
+    if name.startswith(TRACE_PREFIX):
+        return os.path.isfile(name[len(TRACE_PREFIX):])
     return name in _FACTORIES
 
 
 def is_builtin(name: str) -> bool:
     """True when ``name`` resolves identically in any fresh process (the
-    SPEC stand-ins and ``micro.*`` entries, *not* overridden).  Custom
-    registrations — including builtin names replaced via
-    ``register(..., replace=True)`` — exist only in the registering
-    process; the sweep runner uses this to keep their jobs out of
-    spawned workers."""
+    SPEC stand-ins, ``micro.*`` entries *not* overridden, and ``trace:``
+    files — any process can read the file).  Custom registrations —
+    including builtin names replaced via ``register(..., replace=True)``
+    — exist only in the registering process; the sweep runner uses this
+    to keep their jobs out of spawned workers."""
     _ensure_builtins()
+    if name.startswith(TRACE_PREFIX):
+        return True
     return name not in _CUSTOM and _builtin_factory(name) is not None
 
 

@@ -70,6 +70,21 @@ PAPER_REFERENCE: Dict[str, PaperRow] = {
 }
 
 
+#: placeholder row for workloads the paper never measured (recorded
+#: traces, custom profiles): NaN floats render as ``nan`` in the paper
+#: comparison columns instead of crashing the experiment
+_NAN = float("nan")
+UNKNOWN_PAPER_ROW = PaperRow(_NAN, _NAN, _NAN, _NAN, _NAN, _NAN,
+                             0, 0, _NAN, _NAN, _NAN, _NAN)
+
+
+def paper_row_for(name: str) -> PaperRow:
+    """The published reference row for ``name``, or
+    :data:`UNKNOWN_PAPER_ROW` for workloads outside the paper's six
+    (trace files, custom registrations)."""
+    return PAPER_REFERENCE.get(name, UNKNOWN_PAPER_ROW)
+
+
 _PROFILES: Dict[str, WorkloadProfile] = {
     # mesa: moderate branch density, excellent locality (tiny iL1 miss
     # rate), high predictor accuracy, almost all crossings from branches.

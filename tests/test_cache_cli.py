@@ -1,0 +1,174 @@
+"""`repro cache` (list/stats/purge) and `repro trace` (record/info) CLI.
+
+Cache-directory hygiene rides the same ResultStore the sweeps use, so
+every verb is exercised against a directory populated by a real sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import default_config
+from repro.runner import JobSpec, ResultStore
+from repro.trace import record_trace
+
+
+@pytest.fixture()
+def populated_cache(tmp_path):
+    """A cache directory holding two real sweep results plus one
+    corrupted entry and one orphaned temp file."""
+    cache = tmp_path / "cache"
+    store = ResultStore(cache)
+    for name in ("micro.counted_loop", "micro.straight_line"):
+        spec = JobSpec(workload=name, config=default_config(),
+                       instructions=400, warmup=50)
+        store.put(spec, spec.run())
+    (cache / "garbled.0123456789abcdef.json").write_text("{not json")
+    (cache / "entry.json.tmp999").write_text("half-written")
+    return cache
+
+
+class TestCacheList:
+    def test_lists_every_entry(self, populated_cache, capsys):
+        assert main(["cache", "list", "--cache-dir",
+                     str(populated_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "micro.counted_loop" in out
+        assert "micro.straight_line" in out
+        assert "NO" in out  # the garbled entry is flagged, not hidden
+
+    def test_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["cache", "list", "--cache-dir", str(empty)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_missing_directory_is_an_error_not_a_mkdir(self, tmp_path,
+                                                       capsys):
+        absent = tmp_path / "typo"
+        for verb in ("list", "stats", "purge"):
+            assert main(["cache", verb, "--cache-dir",
+                         str(absent)]) == 1
+            assert "no such cache directory" in capsys.readouterr().err
+        assert not absent.exists()  # inspection never creates it
+
+
+class TestCacheStats:
+    def test_counts_and_sizes(self, populated_cache, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(populated_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "1 unreadable" in out
+        assert "1 orphaned temp file(s)" in out
+        assert "micro.counted_loop: 1 entry" in out
+
+    def test_store_level_api(self, populated_cache):
+        stats = ResultStore(populated_cache).disk_stats()
+        assert stats["entries"] == 3
+        assert stats["unreadable"] == 1
+        assert stats["orphaned_tmp_files"] == 1
+        assert stats["bytes"] > 0
+        assert stats["by_workload"]["micro.straight_line"] == 1
+
+
+class TestCachePurge:
+    def test_removes_entries_and_temp_files(self, populated_cache,
+                                            capsys):
+        assert main(["cache", "purge", "--cache-dir",
+                     str(populated_cache)]) == 0
+        assert "purged 4 file(s)" in capsys.readouterr().out
+        assert list(populated_cache.glob("*.json*")) == []
+
+    def test_purged_cache_misses(self, populated_cache):
+        main(["cache", "purge", "--cache-dir", str(populated_cache)])
+        store = ResultStore(populated_cache)
+        spec = JobSpec(workload="micro.counted_loop",
+                       config=default_config(), instructions=400,
+                       warmup=50)
+        assert store.get(spec) is None
+
+
+class TestTraceCLI:
+    def test_record_then_info(self, tmp_path, capsys):
+        out_file = tmp_path / "loop.trace.gz"
+        assert main(["trace", "record", "micro.counted_loop",
+                     "-o", str(out_file),
+                     "--instructions", "500", "--warmup", "50"]) == 0
+        recorded = capsys.readouterr().out
+        assert "recorded micro.counted_loop" in recorded
+        assert "sha256" in recorded
+        assert main(["trace", "info", str(out_file)]) == 0
+        info = capsys.readouterr().out
+        assert "micro.counted_loop" in info
+        assert "plain" in info and "instrumented" in info
+
+    def test_info_json(self, tmp_path, capsys):
+        out_file = tmp_path / "loop.trace.gz"
+        main(["trace", "record", "micro.counted_loop", "-o",
+              str(out_file), "--instructions", "500", "--warmup", "50"])
+        capsys.readouterr()
+        assert main(["trace", "info", str(out_file), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["header"]["workload"] == "micro.counted_loop"
+        assert [s["binary"] for s in info["segments"]] == [
+            "plain", "instrumented"]
+
+    def test_info_on_garbage_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_bytes(b"definitely not a trace")
+        assert main(["trace", "info", str(bad)]) == 1
+        assert "bad magic" in capsys.readouterr().err
+
+    def test_record_to_unwritable_path_fails_cleanly(self, tmp_path,
+                                                     capsys):
+        assert main(["trace", "record", "micro.counted_loop",
+                     "-o", str(tmp_path / "no_such_dir" / "x.trace.gz"),
+                     "--instructions", "200", "--warmup", "50"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_info_tolerates_sparse_headers(self, tmp_path, capsys):
+        """Additive-metadata rule: a trace whose header lacks optional
+        keys still prints (with placeholders), it does not crash."""
+        from repro.trace.format import TraceWriter
+        path = tmp_path / "sparse.trace"
+        TraceWriter(path, header={}).close()
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "? instructions + ? warmup" in out
+
+    def test_record_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "record", "no.such.workload",
+                  "-o", str(tmp_path / "x.trace")])
+
+    def test_sweep_rejects_missing_trace_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks",
+                  f"trace:{tmp_path}/absent.trace.gz"])
+
+    def test_simulate_on_exhausted_trace_fails_cleanly(self, tmp_path,
+                                                       capsys):
+        """User-input failures surface as one 'error:' line, not a
+        traceback, on every subcommand that accepts trace names."""
+        out_file = tmp_path / "short.trace.gz"
+        record_trace("micro.taken_pattern", default_config(),
+                     instructions=500, warmup=50, path=out_file)
+        assert main(["simulate", f"trace:{out_file}",
+                     "--instructions", "50000", "--warmup", "50"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "exhausted" in err
+
+    def test_sweep_accepts_trace_workload(self, tmp_path, capsys):
+        out_file = tmp_path / "loop.trace.gz"
+        record_trace("micro.counted_loop", default_config(),
+                     instructions=500, warmup=50, path=out_file)
+        assert main(["sweep", "--benchmarks", f"trace:{out_file}",
+                     "--instructions", "300", "--warmup", "50",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["simulated"] == 1
+        job = payload["jobs"][0]
+        assert job["spec"]["workload"] == f"trace:{out_file}"
+        assert len(job["spec"]["workload_digest"]) == 64
