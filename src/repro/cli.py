@@ -8,15 +8,18 @@ Subcommands:
   sweep runner (``--workers``), with a persistent result cache
   (``--cache-dir``) and machine-readable output (``--json``)
 * ``trace``        — ``record`` a workload's committed instruction
-  stream to a trace file, or print a file's ``info``
+  stream to a trace file, ``import`` a foreign trace (SimpleScalar EIO
+  / gem5) into the native format, list the importable ``formats``, or
+  print a file's ``info``
 * ``cache``        — ``list`` / ``stats`` / ``purge`` a result-store
-  cache directory
+  cache directory (``purge --keep-bytes N`` size-bounds it, LRU)
 * ``calibrate``    — print the workload-calibration report
 * ``config``       — print the default (Table 1) machine
 * ``simulate``     — one workload, all schemes, summary output
 
 Workload arguments accept any registry name: the six SPEC stand-ins,
-``micro.*`` microbenchmarks, and recorded ``trace:<path>`` files.
+``micro.*`` microbenchmarks, recorded ``trace:<path>`` files, and
+foreign ``import:<format>:<path>`` traces converted on the fly.
 """
 
 from __future__ import annotations
@@ -59,7 +62,8 @@ def _add_sim_args(parser: argparse.ArgumentParser, *,
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         metavar="WORKLOAD",
                         help="registry workload names (SPEC stand-ins, "
-                             "micro.*, trace:<path>; default: the six "
+                             "micro.*, trace:<path>, "
+                             "import:<format>:<path>; default: the six "
                              "SPEC stand-ins)")
     if workers:
         parser.add_argument("--workers", type=int, default=1,
@@ -75,9 +79,21 @@ def _check_workloads(names, parser: argparse.ArgumentParser) -> None:
                 parser.error(
                     f"trace file not found: "
                     f"'{name[len(registry.TRACE_PREFIX):]}'")
+            if name.startswith(registry.IMPORT_PREFIX):
+                from repro.trace.importers import available_formats
+                try:
+                    fmt, path = registry.split_import_name(name)
+                except ReproError as exc:
+                    parser.error(str(exc))
+                if fmt not in available_formats():
+                    parser.error(
+                        f"unknown trace format '{fmt}' (available: "
+                        f"{', '.join(available_formats())})")
+                parser.error(f"foreign trace file not found: '{path}'")
             parser.error(
                 f"unknown workload '{name}' (choose from "
-                f"{', '.join(registry.available())}, or trace:<path>)")
+                f"{', '.join(registry.available())}, trace:<path>, or "
+                "import:<format>:<path>)")
 
 
 def _settings(args: argparse.Namespace):
@@ -160,6 +176,32 @@ def _run_trace(args: argparse.Namespace,
                parser: argparse.ArgumentParser) -> int:
     from repro.trace import TraceReader, record_trace
 
+    if args.trace_command == "formats":
+        from repro.trace.importers import available_formats, get_importer
+        for name in available_formats():
+            print(f"{name:8s} {get_importer(name).description}")
+        return 0
+    if args.trace_command == "import":
+        from repro.trace.importers import import_trace
+        try:
+            info = import_trace(
+                args.format, args.input, args.output,
+                page_bytes=args.page_bytes, page_sizes=args.page_sizes,
+                max_instructions=args.max_instructions, skip=args.skip,
+                workload_name=args.name)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        from repro.trace.format import file_digest
+        print(f"imported {info['format']}:{info['source']} -> "
+              f"{args.output} ({info['workload']})")
+        print(f"  {info['steps']:,} steps over "
+              f"{info['distinct_instructions']:,} distinct instructions, "
+              f"page sizes {', '.join(str(s) for s in info['page_sizes'])}")
+        print(f"  source sha256 {info['source_sha256']}")
+        print(f"  output sha256 {file_digest(args.output)}")
+        print(f"replay with: repro sweep --benchmarks trace:{args.output}")
+        return 0
     if args.trace_command == "record":
         _check_workloads([args.workload], parser)
         config = default_config(CacheAddressing(args.il1))
@@ -221,6 +263,17 @@ def _run_cache(args: argparse.Namespace) -> int:
         return 1
     store = ResultStore(args.cache_dir)
     if args.cache_command == "purge":
+        if args.keep_bytes is not None:
+            if args.keep_bytes < 0:
+                print("error: --keep-bytes must be >= 0", file=sys.stderr)
+                return 1
+            removed, freed = store.evict(args.keep_bytes)
+            stats = store.disk_stats()
+            print(f"evicted {removed} file(s) ({freed:,} bytes) from "
+                  f"{args.cache_dir}; {stats['entries']} entr"
+                  f"{'y' if stats['entries'] == 1 else 'ies'} "
+                  f"({stats['bytes']:,} bytes) kept")
+            return 0
         removed = store.purge()
         print(f"purged {removed} file(s) from {args.cache_dir}")
         return 0
@@ -331,16 +384,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     t_info = trace_sub.add_parser("info", help="describe a trace file")
     t_info.add_argument("file")
     t_info.add_argument("--json", action="store_true")
+    t_import = trace_sub.add_parser(
+        "import", help="convert a foreign trace (SimpleScalar EIO / "
+                       "gem5) into the native format")
+    t_import.add_argument("input", help="foreign trace file (gzip ok)")
+    t_import.add_argument("-o", "--output", required=True,
+                          help="native trace file to write "
+                               "(.gz compresses)")
+    t_import.add_argument("--format", required=True, dest="format",
+                          help="foreign format name (see "
+                               "'repro trace formats')")
+    t_import.add_argument("--page-bytes", type=int, default=4096,
+                          help="primary page size to synthesize the "
+                               "replay geometry for")
+    t_import.add_argument("--page-sizes", nargs="*", type=int,
+                          default=None, metavar="BYTES",
+                          help="emit extra segment pairs at these page "
+                               "sizes too (for the page-size "
+                               "sensitivity sweep)")
+    t_import.add_argument("--max-instructions", type=int, default=None,
+                          help="truncate the converted window to this "
+                               "many instructions")
+    t_import.add_argument("--skip", type=int, default=0,
+                          help="skip this many leading instructions "
+                               "(fast-forward past startup)")
+    t_import.add_argument("--name", default=None,
+                          help="workload name recorded in the trace "
+                               "(default: <format>:<input basename>)")
+    trace_sub.add_parser(
+        "formats", help="list the importable foreign trace formats")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clean a result-store cache directory")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     for verb, text in (("list", "one line per cached result"),
                        ("stats", "aggregate size and per-workload counts"),
-                       ("purge", "delete every entry and temp file")):
+                       ("purge", "delete every entry and temp file, or "
+                                 "size-bound the cache with "
+                                 "--keep-bytes")):
         p_verb = cache_sub.add_parser(verb, help=text)
         p_verb.add_argument("--cache-dir", required=True,
                             help="the directory given to sweep/report")
+        if verb == "purge":
+            p_verb.add_argument(
+                "--keep-bytes", type=int, default=None, metavar="N",
+                help="instead of deleting everything, keep the most "
+                     "recently written entries that fit in N bytes and "
+                     "evict the rest (LRU by mtime)")
 
     p_cal = sub.add_parser("calibrate",
                            help="workload calibration vs paper targets")
@@ -351,7 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sim = sub.add_parser("simulate", help="simulate one workload")
     p_sim.add_argument("benchmark", metavar="WORKLOAD",
                        help="registry workload name (SPEC stand-in, "
-                            "micro.*, or trace:<path>)")
+                            "micro.*, trace:<path>, or "
+                            "import:<format>:<path>)")
     p_sim.add_argument("--il1", default="vi-pt",
                        choices=[a.value for a in CacheAddressing])
     _add_sim_args(p_sim)

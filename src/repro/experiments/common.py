@@ -198,9 +198,14 @@ class TableResult:
 
 def short_name(benchmark: str) -> str:
     """Display form of a workload name: '177.mesa' -> 'mesa' (the paper
-    uses both forms); 'trace:runs/mesa.trace.gz' -> 'mesa.trace' (the
-    file's base name, so table rows stay readable)."""
-    from repro.workloads.registry import TRACE_PREFIX
+    uses both forms); 'trace:runs/mesa.trace.gz' -> 'mesa.trace' and
+    'import:eio:runs/app.eio.txt' -> 'app.eio.txt.eio' (the file's base
+    name plus its source, so table rows stay readable)."""
+    from repro.workloads.registry import (
+        IMPORT_PREFIX,
+        TRACE_PREFIX,
+        split_import_name,
+    )
     if benchmark.startswith(TRACE_PREFIX):
         stem = benchmark[len(TRACE_PREFIX):].replace("\\", "/").rsplit(
             "/", 1)[-1]
@@ -208,6 +213,14 @@ def short_name(benchmark: str) -> str:
             if stem.endswith(suffix):
                 stem = stem[:-len(suffix)]
         return f"{stem}.trace"
+    if benchmark.startswith(IMPORT_PREFIX):
+        from repro.errors import RegistryError
+        try:
+            fmt, path = split_import_name(benchmark)
+        except RegistryError:
+            return benchmark  # malformed: display verbatim
+        stem = path.replace("\\", "/").rsplit("/", 1)[-1]
+        return f"{stem}.{fmt}"
     return benchmark.split(".", 1)[1] if "." in benchmark else benchmark
 
 

@@ -82,7 +82,15 @@ def _replayable_sizes(bench: str) -> frozenset:
     instrumented) segment pairs it was recorded with
     (``record_trace(..., page_sizes=...)``) — probed with one decode of
     the file, not one per swept size."""
-    from repro.workloads.registry import TRACE_PREFIX, resolve
+    from repro.workloads.registry import (
+        IMPORT_PREFIX,
+        TRACE_PREFIX,
+        resolve,
+    )
+    if bench.startswith(IMPORT_PREFIX):
+        # imported foreign traces synthesize their geometry on demand,
+        # so any page size replays
+        return frozenset(PAGE_SWEEP)
     if not bench.startswith(TRACE_PREFIX):
         return frozenset(PAGE_SWEEP)
     segments = resolve(bench).trace.segments

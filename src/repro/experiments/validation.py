@@ -27,7 +27,8 @@ from repro.experiments.common import (
     short_name,
 )
 from repro.sim.simulator import attach_energy
-from repro.workloads.registry import TRACE_PREFIX, resolve
+from repro.errors import RegistryError
+from repro.workloads.registry import file_backed_path, resolve
 
 
 def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
@@ -47,11 +48,21 @@ def run(settings: Optional[ExperimentSettings] = None) -> TableResult:
                                        warmup=warmup,
                                        benchmarks=tuple(benchmarks),
                                        workers=settings.workers)
-    # recorded traces are skipped outright (the detailed engine fetches
-    # speculative wrong-path instructions a committed stream cannot
-    # supply), so don't waste fast-engine passes prefetching them
+    # recorded and imported traces are skipped outright (the detailed
+    # engine fetches speculative wrong-path instructions a committed
+    # stream cannot supply), so don't waste fast-engine passes
+    # prefetching them
+    def _skip_for_ooo(bench: str) -> bool:
+        try:
+            return file_backed_path(bench) is not None
+        except RegistryError:
+            # a malformed import:<format>:<path> name certainly cannot
+            # run on the detailed engine either — skip it with a note
+            # instead of letting the filter abort the whole table
+            return True
+
     runnable = [bench for bench in benchmarks
-                if not bench.startswith(TRACE_PREFIX)]
+                if not _skip_for_ooo(bench)]
     for bench in benchmarks:
         if bench not in runnable:
             result.notes.append(

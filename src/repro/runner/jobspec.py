@@ -28,6 +28,16 @@ from repro.config import MachineConfig, SchemeName
 #: hashed into every key, so old cache entries simply stop matching
 SPEC_FORMAT = 1
 
+#: the workload digest recorded when a file-backed workload's file
+#: cannot be read at spec-construction time.  Such a spec is still a
+#: valid batch member — it hashes, serializes, and dedups — but its
+#: :meth:`JobSpec.run` *always* raises a typed error (even if the file
+#: has appeared since), which the sweep captures as that job's failure.
+#: A sentinel-keyed spec therefore can never produce — and so never
+#: cache — a result, so two specs sharing the sentinel can never serve
+#: each other stale data.
+UNREADABLE_DIGEST = "unreadable"
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -40,23 +50,48 @@ class JobSpec:
     #: None means every scheme (the :func:`run_all_schemes` default)
     schemes: Optional[Tuple[SchemeName, ...]] = None
     engine: str = "fast"
-    #: content identity of file-backed workloads.  ``trace:<path>``
-    #: names resolve to whatever bytes the file holds, so the spec's
-    #: identity must cover them: the file's SHA-256 is computed here
-    #: (unless supplied, e.g. by :meth:`from_dict`) and hashed into
-    #: :attr:`key`, so editing a trace can never yield a stale
-    #: :class:`~repro.runner.store.ResultStore` hit.  Always ``None``
+    #: content identity of file-backed workloads.  ``trace:<path>`` and
+    #: ``import:<format>:<path>`` names resolve to whatever bytes the
+    #: file holds, so the spec's identity must cover them: the file's
+    #: SHA-256 is computed here (unless supplied, e.g. by
+    #: :meth:`from_dict`) and hashed into :attr:`key`, so editing a
+    #: trace can never yield a stale
+    #: :class:`~repro.runner.store.ResultStore` hit.  A missing or
+    #: unreadable file digests as :data:`UNREADABLE_DIGEST` instead of
+    #: raising — spec construction must never crash a batch build; the
+    #: typed error surfaces later, as that one job's
+    #: :attr:`~repro.runner.sweep.JobResult.error`.  Always ``None``
     #: for registry-generated workloads, whose name is their identity.
     workload_digest: Optional[str] = None
 
     def __post_init__(self) -> None:
-        from repro.workloads.registry import TRACE_PREFIX
-        if (self.workload_digest is None
-                and self.workload.startswith(TRACE_PREFIX)):
-            from repro.trace.format import file_digest
-            object.__setattr__(
-                self, "workload_digest",
-                file_digest(self.workload[len(TRACE_PREFIX):]))
+        from repro.errors import RegistryError
+        from repro.workloads.registry import file_backed_path
+        if self.workload_digest is None:
+            try:
+                path = file_backed_path(self.workload)
+            except RegistryError:
+                # malformed import:<format>:<path> name: resolvable to a
+                # typed error at run() time, not a batch-build crash
+                path = None
+            if path is not None:
+                from repro.errors import TraceError
+                from repro.trace.format import file_digest
+                try:
+                    digest = file_digest(path)
+                    from repro.workloads.registry import IMPORT_PREFIX
+                    if self.workload.startswith(IMPORT_PREFIX):
+                        # import: workloads are (file bytes x conversion
+                        # rules): an importer-version bump must stop old
+                        # cache entries from matching, exactly like an
+                        # edited file
+                        from repro.trace.importers.base import (
+                            IMPORTER_VERSION,
+                        )
+                        digest = f"{digest}.i{IMPORTER_VERSION}"
+                except TraceError:
+                    digest = UNREADABLE_DIGEST
+                object.__setattr__(self, "workload_digest", digest)
         if self.schemes is not None:
             # canonicalize: coerce strings, drop duplicates, and fix the
             # order (enum declaration order), so ("ia", "base") and
@@ -123,6 +158,19 @@ class JobSpec:
     def run(self):
         """Execute the job (no caching — callers wanting cache hits go
         through :class:`~repro.runner.sweep.SweepRunner` or the store)."""
+        if self.workload_digest == UNREADABLE_DIGEST:
+            # the file may have appeared since construction, but this
+            # spec's identity was sealed as "unreadable" — running it
+            # anyway would store a result under the sentinel key, which
+            # a later spec over *different* file bytes could then hit.
+            # Refuse deterministically; a fresh JobSpec picks up the
+            # file's real digest.
+            from repro.errors import TraceError
+            raise TraceError(
+                f"workload file for '{self.workload}' was missing or "
+                "unreadable when this JobSpec was constructed; construct "
+                "a new spec now that the file exists (spec identity is "
+                "bound to the file's content)")
         from repro.sim.multi import run_all_schemes
         from repro.workloads.registry import resolve
         return run_all_schemes(

@@ -22,13 +22,22 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
 
 #: on-disk entry schema version; mismatches are treated as corrupt
 STORE_FORMAT = 1
+
+#: longest workload-derived filename prefix, in UTF-8 **bytes** (the
+#: unit filesystem name limits are measured in — 255 bytes on the
+#: common ones; a character cap would leak through for non-ASCII
+#: names).  The slug exists purely for humans — the 16-hex-digit key
+#: suffix is what identifies the entry — so it is capped well below
+#: the limit: a ``trace:``/``import:`` workload naming a deep path
+#: must not make ``put`` raise ``OSError(ENAMETOOLONG)``.
+MAX_SLUG_BYTES = 80
 
 
 class ResultStore:
@@ -46,15 +55,40 @@ class ResultStore:
 
     # -- paths ---------------------------------------------------------
 
+    @staticmethod
+    def _slug(workload: str) -> str:
+        """Filename-safe form of a workload name (uncapped); shared by
+        the current and legacy path schemes so they can never drift —
+        drift would silently break the legacy-migration probe."""
+        return "".join(c if c.isalnum() or c in "._-" else "_"
+                       for c in workload)
+
     def path_for(self, spec: JobSpec) -> Optional[Path]:
         """Where ``spec``'s entry lives on disk (None for memory-only).
         The workload name is kept in the filename purely for humans; the
-        key alone identifies the entry."""
+        key alone identifies the entry, so the slug is truncated to its
+        *last* :data:`MAX_SLUG_BYTES` UTF-8 bytes (the tail of a path is
+        the recognizable part) rather than ever overflowing a filename.
+        """
         if self.root is None:
             return None
-        slug = "".join(c if c.isalnum() or c in "._-" else "_"
-                       for c in spec.workload)
+        # trim by encoded size, dropping any multi-byte char the cut
+        # split in half
+        slug = self._slug(spec.workload).encode(
+            "utf-8")[-MAX_SLUG_BYTES:].decode("utf-8", "ignore")
+        slug = slug.lstrip(".") or "workload"  # never a dotfile
         return self.root / f"{slug}.{spec.key[:16]}.json"
+
+    def _legacy_path_for(self, spec: JobSpec) -> Optional[Path]:
+        """The uncapped filename earlier releases used, when it differs
+        from :meth:`path_for`'s — so caches written before the slug cap
+        keep answering (entries found there are renamed on first hit,
+        not orphaned)."""
+        if self.root is None:
+            return None
+        legacy = (self.root
+                  / f"{self._slug(spec.workload)}.{spec.key[:16]}.json")
+        return None if legacy == self.path_for(spec) else legacy
 
     # -- lookup --------------------------------------------------------
 
@@ -74,8 +108,16 @@ class ResultStore:
 
     def _load(self, spec: JobSpec, key: str) -> Optional[CombinedRun]:
         path = self.path_for(spec)
-        if path is None or not path.exists():
+        if path is None:
             return None
+        if not path.exists():
+            legacy = self._legacy_path_for(spec)
+            if legacy is None or not legacy.exists():
+                return None
+            try:  # migrate the pre-cap entry to its capped name
+                os.replace(legacy, path)
+            except OSError:
+                path = legacy  # migration is best-effort: read in place
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
@@ -198,6 +240,49 @@ class ResultStore:
                 except OSError:
                     pass
         return removed
+
+    def evict(self, keep_bytes: int) -> Tuple[int, int]:
+        """Size-bound the cache directory with a strict LRU cutoff:
+        walking entries newest-mtime-first (``put`` rewrites an entry's
+        file, refreshing its mtime), keep them while the cumulative
+        size fits ``keep_bytes``; the first entry that does not fit —
+        and everything older than it — is deleted.  Survivors are
+        always a recency prefix: nothing older than an evicted entry is
+        ever kept.  Orphaned atomic-write temp files are always
+        removed.  Returns ``(files_removed, bytes_freed)``; a
+        memory-only store is a no-op."""
+        if keep_bytes < 0:
+            raise ValueError("keep_bytes must be >= 0")
+        removed = 0
+        freed = 0
+        if self.root is None:
+            return removed, freed
+        for tmp in self.root.glob("*.json.tmp*"):
+            try:
+                size = tmp.stat().st_size
+                tmp.unlink()
+                removed += 1
+                freed += size
+            except OSError:
+                pass
+        entries = sorted(self.disk_entries(), key=lambda r: r["mtime"],
+                         reverse=True)
+        kept = 0
+        evicting = False
+        for record in entries:
+            if not evicting and kept + record["bytes"] <= keep_bytes:
+                kept += record["bytes"]
+                continue
+            evicting = True
+            try:
+                record["path"].unlink()
+                removed += 1
+                freed += record["bytes"]
+            except OSError:
+                continue
+            if record["key"] is not None:
+                self._memory.pop(record["key"], None)
+        return removed, freed
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -13,7 +13,11 @@ Design points, in the order they matter:
 * **Fault isolated.**  A failing job becomes a :class:`JobResult` with
   ``error`` set (full traceback); the rest of the sweep completes.
   ``workers=1`` — or an environment where ``multiprocessing`` cannot
-  start (no semaphores in some sandboxes) — runs serially in-process.
+  start (no semaphores in some sandboxes) — runs serially in-process,
+  and a pool that breaks mid-sweep (a worker OOM/SIGKILLed) re-runs
+  each remaining job quarantined in its own single-worker pool, so a
+  genuinely fatal job costs one private worker and one
+  ``JobResult.error`` — never the parent process or the batch.
 
 Workers receive spec *dicts* and return result *dicts*: both sides of
 the pipe are plain data, so nothing in the simulator needs to be
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -168,14 +173,26 @@ class SweepRunner:
 
         payloads = [spec.to_dict() for spec in remote]
         try:
-            with multiprocessing.Pool(min(self.workers,
-                                          len(remote))) as pool:
-                raw = pool.map(_execute_payload, payloads)
-        except OSError:
-            # restricted environments (no /dev/shm, no sem_open): the
-            # sweep still completes, just without parallelism
+            raw = self._map_in_pool(payloads, min(self.workers,
+                                                  len(remote)))
+        except (OSError, NotImplementedError):
+            # restricted environments (no /dev/shm, no sem_open): pools
+            # are unusable here at all, so run serially in-process —
+            # per-job fault capture still applies
             stats.parallel = False
             return [self._run_one(spec) for spec in queue]
+        except Exception:
+            # the pool itself broke mid-map — a worker killed outright
+            # (OOM/SIGKILL) surfaces from the executor as
+            # BrokenProcessPool, never as a per-job exception
+            # (_execute_payload catches those).  One of the jobs is
+            # probably fatal, so do NOT pull the queue into this
+            # process: quarantine each job in its own single-worker
+            # pool instead, so a re-offending job takes down only its
+            # private worker and becomes that one JobResult's error
+            # while the rest of the sweep completes.
+            stats.parallel = False
+            return self._run_quarantined(queue, local)
         remote_outcomes = iter(
             (CombinedRun.from_dict(payload), None) if ok
             else (None, payload["traceback"])
@@ -183,3 +200,58 @@ class SweepRunner:
         return [self._run_one(spec) if i in local
                 else next(remote_outcomes)
                 for i, spec in enumerate(queue)]
+
+    # -- process-pool seams --------------------------------------------
+    #
+    # ProcessPoolExecutor, not multiprocessing.Pool: a worker that dies
+    # abruptly (OOM/SIGKILL) makes the executor raise BrokenProcessPool,
+    # whereas Pool.map simply hangs forever waiting for the lost task's
+    # result — detectability is the whole point of the fallback chain.
+
+    @staticmethod
+    def _mp_context():
+        """The multiprocessing context pools are built from (follows
+        the module-level ``multiprocessing`` name, which tests swap for
+        a specific start-method context)."""
+        get = getattr(multiprocessing, "get_context", None)
+        return None if get is None else get()
+
+    def _map_in_pool(self, payloads: List[dict],
+                     workers: int) -> List[Tuple[bool, dict]]:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=self._mp_context()) as pool:
+            return list(pool.map(_execute_payload, payloads))
+
+    def _apply_in_pool(self, payload: dict) -> Tuple[bool, dict]:
+        """One job in one disposable single-worker pool."""
+        with ProcessPoolExecutor(max_workers=1,
+                                 mp_context=self._mp_context()) as pool:
+            return pool.submit(_execute_payload, payload).result()
+
+    def _run_quarantined(self, queue: List[JobSpec], local: set
+                         ) -> List[Tuple[Optional[CombinedRun],
+                                         Optional[str]]]:
+        """Recovery backend after a broken pool: one disposable
+        single-worker pool per remaining job."""
+        outcomes: List[Tuple[Optional[CombinedRun], Optional[str]]] = []
+        for i, spec in enumerate(queue):
+            if i in local:
+                outcomes.append(self._run_one(spec))
+                continue
+            try:
+                ok, payload = self._apply_in_pool(spec.to_dict())
+            except (OSError, NotImplementedError):
+                # pools just became unavailable (not a job death):
+                # in-process is the only option left
+                outcomes.append(self._run_one(spec))
+                continue
+            except Exception:
+                outcomes.append((None, (
+                    "worker process died while running this job "
+                    "(killed by the OS — out of memory?); the job was "
+                    "quarantined so the rest of the sweep could "
+                    f"complete\n{traceback.format_exc()}")))
+                continue
+            outcomes.append((CombinedRun.from_dict(payload), None) if ok
+                            else (None, payload["traceback"]))
+        return outcomes

@@ -13,8 +13,12 @@ Trace files enter the rest of the system by *name*: the workload
 registry resolves ``trace:<path>``, and :class:`~repro.runner.JobSpec`
 content-addresses such workloads by the file's SHA-256
 (:func:`~repro.trace.format.file_digest`), so the ResultStore can never
-serve stale results for an edited trace.  The ``repro trace`` CLI
-(``record`` / ``info``) fronts this module.
+serve stale results for an edited trace.  Foreign streams (SimpleScalar
+EIO text, gem5 ``Exec`` logs) enter through
+:mod:`repro.trace.importers` — converted into this format once
+(``repro trace import``) or on the fly (``import:<format>:<path>``
+names).  The ``repro trace`` CLI (``record`` / ``info`` / ``import`` /
+``formats``) fronts this module.
 """
 
 from repro.trace.format import (
@@ -24,6 +28,12 @@ from repro.trace.format import (
     TraceSegment,
     TraceWriter,
     file_digest,
+)
+from repro.trace.importers import (
+    ImportedTraceWorkload,
+    available_formats,
+    import_trace,
+    load_imported_workload,
 )
 from repro.trace.record import TraceRecorder, record_trace
 from repro.trace.replay import (
@@ -42,8 +52,12 @@ __all__ = [
     "TraceWorkload",
     "TraceWriter",
     "TraceExecutor",
+    "ImportedTraceWorkload",
     "ReplayProgram",
+    "available_formats",
     "file_digest",
+    "import_trace",
+    "load_imported_workload",
     "load_trace_workload",
     "record_trace",
 ]

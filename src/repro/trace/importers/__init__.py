@@ -1,0 +1,101 @@
+"""Pluggable importers: foreign instruction traces -> native traces.
+
+The paper's energy claims carry weight against instruction streams from
+*real* binaries; this package lets streams captured by other simulators
+replay here.  Each :class:`~repro.trace.importers.base.Importer`
+understands one foreign format and is registered by name:
+
+========  ==========================================================
+``eio``   SimpleScalar-style (PISA) text trace
+          (:mod:`repro.trace.importers.eio`)
+``gem5``  gem5 ``Exec`` debug output
+          (:mod:`repro.trace.importers.gem5`)
+========  ==========================================================
+
+Two entry paths share the same conversion core
+(:mod:`repro.trace.importers.base`):
+
+* ``repro trace import --format <name> <in> <out>`` converts once into
+  an ordinary native trace file (streaming, constant memory) that
+  replays bit-identically thereafter and is content-addressed like any
+  recorded trace;
+* registry names of the form ``import:<format>:<path>`` resolve
+  directly to an on-demand :class:`ImportedTraceWorkload` — convenient
+  for sweeps, but re-converted per resolve (use the explicit step for
+  multi-million-instruction streams).
+
+Third parties register additional formats with :func:`register_format`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import TraceError
+from repro.trace.importers.base import (
+    IMPORTER_VERSION,
+    ForeignStep,
+    Importer,
+    ImportedTraceWorkload,
+    convert_trace,
+)
+from repro.trace.importers.eio import EIOImporter
+from repro.trace.importers.gem5 import Gem5Importer
+
+_FORMATS: Dict[str, Importer] = {}
+
+
+def register_format(importer: Importer, *, replace: bool = False) -> None:
+    """Register an importer under ``importer.name``."""
+    if importer.name in _FORMATS and not replace:
+        raise TraceError(
+            f"importer format '{importer.name}' is already registered "
+            "(pass replace=True to override)")
+    _FORMATS[importer.name] = importer
+
+
+def get_importer(name: str) -> Importer:
+    """The importer registered under ``name``; raises a typed error
+    listing the alternatives for unknown formats."""
+    importer = _FORMATS.get(name)
+    if importer is None:
+        raise TraceError(
+            f"unknown trace format '{name}' "
+            f"(available: {', '.join(available_formats())})")
+    return importer
+
+
+def available_formats() -> Tuple[str, ...]:
+    """All registered format names, sorted."""
+    return tuple(sorted(_FORMATS))
+
+
+def import_trace(format_name: str, src, dst, **options) -> dict:
+    """Convert ``src`` (format ``format_name``) into a native trace at
+    ``dst``; see :func:`~repro.trace.importers.base.convert_trace` for
+    the options and the returned summary."""
+    return convert_trace(get_importer(format_name), src, dst, **options)
+
+
+def load_imported_workload(format_name: str, path,
+                           **options) -> ImportedTraceWorkload:
+    """The on-demand workload behind ``import:<format>:<path>`` names."""
+    return ImportedTraceWorkload(get_importer(format_name), path,
+                                 **options)
+
+
+register_format(EIOImporter())
+register_format(Gem5Importer())
+
+__all__ = [
+    "IMPORTER_VERSION",
+    "ForeignStep",
+    "Importer",
+    "ImportedTraceWorkload",
+    "available_formats",
+    "convert_trace",
+    "get_importer",
+    "import_trace",
+    "load_imported_workload",
+    "register_format",
+]

@@ -1,0 +1,174 @@
+"""SimpleScalar-style EIO text traces.
+
+The dialect is the information SimpleScalar's PISA simulators can emit
+per *retired* instruction (what ``sim-eio``'s external-I/O stream plus
+the committed-instruction log carry), rendered one instruction per
+line::
+
+    # comment (';' works too); blank lines are ignored
+    <pc> <mnemonic> [key=value ...]
+
+``pc`` is hexadecimal (with or without ``0x``).  ``mnemonic`` is a
+SimpleScalar/MIPS (PISA) opcode; the table below maps each onto a
+native instruction kind.  The annotations carry the dynamic facts the
+mnemonic cannot:
+
+========  =====================================================
+key       meaning (required where shown)
+========  =====================================================
+``ea``    effective address, hex — **required** on loads/stores
+``tgt``   taken-destination, hex — **required** on conditional
+          branches and direct jumps/calls
+``tk``    ``0``/``1`` branch outcome — **required** on
+          conditional branches
+``nx``    actual next pc, hex — **required** on indirect
+          jumps/calls (``jr``/``jalr``)
+``rd``    destination register number (optional, 0..31)
+``rs``    first source register number (optional)
+``rt``    second source register number (optional)
+========  =====================================================
+
+Every deviation — an unknown mnemonic, a missing required annotation, a
+malformed number, a register out of range — is a typed
+:class:`~repro.errors.TraceError` naming the file and line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.isa.instructions import InstrKind, Opcode
+from repro.trace.importers.base import ForeignStep, Importer
+
+#: PISA mnemonic -> (kind, wire opcode)
+EIO_MNEMONICS: Dict[str, Tuple[InstrKind, Opcode]] = {}
+
+
+def _fill(mnemonics: str, kind: InstrKind, op: Opcode) -> None:
+    for mnemonic in mnemonics.split():
+        EIO_MNEMONICS[mnemonic] = (kind, op)
+
+
+_fill("add addu sub subu and or xor nor slt sltu sll srl sra sllv srlv "
+      "srav addi addiu andi ori xori slti sltiu lui mfhi mflo mthi mtlo "
+      "syscall", InstrKind.INT_ALU, Opcode.ADD)
+_fill("mult multu mul", InstrKind.INT_MULT, Opcode.MUL)
+_fill("div divu", InstrKind.INT_DIV, Opcode.DIV)
+_fill("add.s add.d sub.s sub.d abs.s abs.d neg.s neg.d mov.s mov.d "
+      "cvt.s.w cvt.d.w cvt.w.s cvt.w.d cvt.s.d cvt.d.s c.eq.s c.eq.d "
+      "c.lt.s c.lt.d c.le.s c.le.d", InstrKind.FP_ALU, Opcode.FADD)
+_fill("mul.s mul.d", InstrKind.FP_MULT, Opcode.FMUL)
+_fill("div.s div.d sqrt.s sqrt.d", InstrKind.FP_DIV, Opcode.FDIV)
+_fill("lb lbu lh lhu lw lwl lwr dlw", InstrKind.LOAD, Opcode.LW)
+_fill("l.s l.d lwc1 ldc1", InstrKind.LOAD, Opcode.FLW)
+_fill("sb sh sw swl swr dsw", InstrKind.STORE, Opcode.SW)
+_fill("s.s s.d swc1 sdc1", InstrKind.STORE, Opcode.FSW)
+_fill("beq bne blez bgtz bltz bgez beqz bnez bc1t bc1f",
+      InstrKind.COND_BRANCH, Opcode.BNE)
+_fill("j b", InstrKind.JUMP, Opcode.J)
+_fill("jal", InstrKind.CALL, Opcode.JAL)
+_fill("jr", InstrKind.INDIRECT_JUMP, Opcode.JR)
+_fill("jalr", InstrKind.INDIRECT_CALL, Opcode.JALR)
+_fill("nop ssnop", InstrKind.NOP, Opcode.NOP)
+_fill("halt break", InstrKind.HALT, Opcode.HALT)
+
+_KNOWN_KEYS = frozenset({"ea", "tgt", "tk", "nx", "rd", "rs", "rt"})
+_HEX_KEYS = frozenset({"ea", "tgt", "nx"})
+
+
+class EIOImporter(Importer):
+    """Parser for the SimpleScalar-style EIO text dialect."""
+
+    name = "eio"
+    description = ("SimpleScalar-style (PISA) text trace: one retired "
+                   "instruction per line with ea=/tgt=/tk=/nx= "
+                   "annotations")
+
+    def events(self, path) -> Iterator[ForeignStep]:
+        with self.open_text(path) as stream:
+            for lineno, raw in enumerate(stream, start=1):
+                line = raw.strip()
+                if not line or line[0] in "#;":
+                    continue
+                yield self._parse(path, lineno, line)
+
+    # -- one line ------------------------------------------------------
+
+    def _parse(self, path, lineno: int, line: str) -> ForeignStep:
+        fields = line.split()
+        if len(fields) < 2:
+            raise self.error(path, lineno,
+                             f"expected '<pc> <mnemonic> [key=value ...]', "
+                             f"got {line!r}")
+        pc = self._hex(path, lineno, "pc", fields[0])
+        mnemonic = fields[1].lower()
+        known = EIO_MNEMONICS.get(mnemonic)
+        if known is None:
+            raise self.error(path, lineno,
+                             f"unknown opcode '{mnemonic}' at pc {pc:#x} "
+                             "(not a SimpleScalar PISA mnemonic)")
+        kind, op = known
+        values: Dict[str, int] = {}
+        for token in fields[2:]:
+            key, sep, text = token.partition("=")
+            if not sep or key not in _KNOWN_KEYS:
+                raise self.error(path, lineno,
+                                 f"unrecognized annotation {token!r}")
+            if key in _HEX_KEYS:
+                values[key] = self._hex(path, lineno, key, text)
+            else:
+                values[key] = self._int(path, lineno, key, text)
+        for reg in ("rd", "rs", "rt"):
+            if reg in values and not 0 <= values[reg] < 32:
+                raise self.error(path, lineno,
+                                 f"register {reg}={values[reg]} out of "
+                                 "range (0..31)")
+        step = ForeignStep(pc=pc, kind=kind, mnemonic=mnemonic, op=op,
+                           rd=values.get("rd", 0), rs=values.get("rs", 0),
+                           rt=values.get("rt", 0), line=lineno)
+        if kind is InstrKind.COND_BRANCH:
+            self._require(path, lineno, mnemonic, values, "tgt", "tk")
+            if values["tk"] not in (0, 1):
+                raise self.error(path, lineno,
+                                 f"tk={values['tk']} is not a branch "
+                                 "outcome (0 or 1)")
+            step.taken = bool(values["tk"])
+            if step.taken:
+                step.target = values["tgt"]
+        elif kind in (InstrKind.JUMP, InstrKind.CALL):
+            self._require(path, lineno, mnemonic, values, "tgt")
+            step.taken = True
+            step.target = values["tgt"]
+        elif kind in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
+            self._require(path, lineno, mnemonic, values, "nx")
+            step.taken = True
+            step.next_pc = values["nx"]
+        elif kind in (InstrKind.LOAD, InstrKind.STORE):
+            self._require(path, lineno, mnemonic, values, "ea")
+            step.mem_addr = values["ea"]
+        return step
+
+    # -- field helpers -------------------------------------------------
+
+    def _require(self, path, lineno: int, mnemonic: str,
+                 values: Dict[str, int], *keys: str) -> None:
+        for key in keys:
+            if key not in values:
+                raise self.error(path, lineno,
+                                 f"'{mnemonic}' requires the {key}= "
+                                 "annotation")
+
+    def _hex(self, path, lineno: int, what: str, text: str) -> int:
+        try:
+            return int(text, 16)
+        except ValueError:
+            raise self.error(path, lineno,
+                             f"bad {what} {text!r} (expected hex)") from None
+
+    def _int(self, path, lineno: int, what: str, text: str) -> int:
+        try:
+            return int(text, 10)
+        except ValueError:
+            raise self.error(
+                path, lineno,
+                f"bad {what} {text!r} (expected decimal)") from None

@@ -1,0 +1,269 @@
+"""gem5 ``Exec`` debug-trace text.
+
+The parser reads what ``gem5 --debug-flags=Exec`` (with
+``ExecEffAddr`` for memory operands) prints per committed instruction::
+
+    50500: system.cpu: A0 T0 : 0x400140 @main+12 : addiu r29, r29, -16 : IntAlu : D=0xfff0 flags=(IsInteger)
+    51000: system.cpu: A0 T0 : 0x400144 : sw r4, 0(r29) : MemWrite : D=0x1 A=0x7fffff10 flags=(IsStore)
+
+i.e. ``tick: <cpu path> : 0x<pc>[.<micro>] [@symbol] : <disassembly> :
+<OpClass> : [D=...] [A=...] [flags=(...)]`` with '`` : ``' separating
+the fields.  Lines that do not begin with a tick (gem5 banners,
+``warn:``/``info:`` chatter) are skipped; a line that *does* carry a
+tick but cannot be parsed is a typed error, as is a log interleaving
+more than one cpu's stream (filter one core's lines first — a merged
+sequence would fabricate control flow).  Micro-ops (``0x400140.1``)
+are folded into their macro-op: the first micro defines the
+instruction, later micros contribute their ``A=`` address and memory
+op class.
+
+gem5 does not record branch outcomes explicitly, so control flow is
+derived from the pc sequence: an instruction whose successor's pc is
+not ``pc + 4`` transferred control there.  Classification prefers the
+``flags=(...)`` set (``IsCondControl``, ``IsCall``, ``IsReturn``,
+``IsDirectControl`` ...), falls back to the shared control-mnemonic
+table, and finally — for an unrecognized instruction that nevertheless
+redirected fetch — emits an indirect jump, which replays the observed
+flow exactly.  The final line of the file has no successor: if it needs
+one to resolve (any control transfer — its destination or its outcome
+would be a guess), it is dropped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.isa.instructions import InstrKind
+from repro.trace.importers.base import (
+    CONTROL_MNEMONICS,
+    ForeignStep,
+    Importer,
+)
+
+#: gem5 OpClass -> native kind (memory classes checked separately)
+OPCLASS_TO_KIND: Dict[str, InstrKind] = {
+    "No_OpClass": InstrKind.NOP,
+    "IntAlu": InstrKind.INT_ALU,
+    "SimdAlu": InstrKind.INT_ALU,
+    "IntMult": InstrKind.INT_MULT,
+    "IntDiv": InstrKind.INT_DIV,
+    "FloatAdd": InstrKind.FP_ALU,
+    "FloatCmp": InstrKind.FP_ALU,
+    "FloatCvt": InstrKind.FP_ALU,
+    "FloatMisc": InstrKind.FP_ALU,
+    "FloatMult": InstrKind.FP_MULT,
+    "FloatMultAcc": InstrKind.FP_MULT,
+    "FloatDiv": InstrKind.FP_DIV,
+    "FloatSqrt": InstrKind.FP_DIV,
+    "MemRead": InstrKind.LOAD,
+    "FloatMemRead": InstrKind.LOAD,
+    "MemWrite": InstrKind.STORE,
+    "FloatMemWrite": InstrKind.STORE,
+}
+
+_PC_RE = re.compile(r"^(0x[0-9a-fA-F]+|[0-9a-fA-F]+)(?:\.(\d+))?$")
+_ADDR_RE = re.compile(r"\bA=(0x[0-9a-fA-F]+|[0-9a-fA-F]+)\b")
+_FLAGS_RE = re.compile(r"\bflags=\(([^)]*)\)")
+_REG_RE = re.compile(r"\b(?:r|x|f|\$)(\d+)\b")
+
+
+@dataclass
+class _Raw:
+    """One parsed macro-op, before control-flow classification."""
+
+    pc: int
+    mnemonic: str
+    opclass: str
+    flags: Set[str] = field(default_factory=set)
+    mem_addr: Optional[int] = None
+    regs: List[int] = field(default_factory=list)
+    line: int = 0
+    cpu: str = ""  #: the emitting cpu's path (one stream per import)
+
+
+class Gem5Importer(Importer):
+    """Parser for gem5 ``Exec`` debug output."""
+
+    name = "gem5"
+    description = ("gem5 Exec debug trace (--debug-flags=Exec, with "
+                   "ExecEffAddr for memory addresses); control flow "
+                   "derived from the pc sequence")
+
+    def events(self, path) -> Iterator[ForeignStep]:
+        pending: Optional[_Raw] = None
+        cpu: Optional[str] = None
+        with self.open_text(path) as stream:
+            for lineno, raw_line in enumerate(stream, start=1):
+                raw = self._parse_line(path, lineno, raw_line)
+                if raw is None:
+                    continue
+                if cpu is None:
+                    cpu = raw.cpu
+                elif raw.cpu != cpu:
+                    # interleaved per-core streams would import as one
+                    # merged sequence with fabricated control flow
+                    raise self.error(
+                        path, lineno if raw.line == 0 else raw.line,
+                        f"trace interleaves two cpus ('{cpu}' and "
+                        f"'{raw.cpu}'); one Exec stream per import — "
+                        "filter a single cpu's lines first")
+                if raw.line == 0:  # micro-op continuation
+                    if pending is not None:
+                        if raw.pc != pending.pc:
+                            raise self.error(
+                                path, lineno,
+                                f"micro-op continuation at pc "
+                                f"{raw.pc:#x} does not match its "
+                                f"macro-op at pc {pending.pc:#x}")
+                        if pending.mem_addr is None:
+                            pending.mem_addr = raw.mem_addr
+                        # the macro is a memory op if ANY of its micros
+                        # is (e.g. x86/Arm: micro .0 computes, micro .1
+                        # carries the MemWrite + A=); without this the
+                        # access would silently vanish from the model
+                        if (OPCLASS_TO_KIND[raw.opclass]
+                                in (InstrKind.LOAD, InstrKind.STORE)
+                                and OPCLASS_TO_KIND[pending.opclass]
+                                not in (InstrKind.LOAD,
+                                        InstrKind.STORE)):
+                            pending.opclass = raw.opclass
+                        pending.flags |= raw.flags
+                    continue
+                if pending is not None:
+                    step = self._classify(path, pending, raw.pc)
+                    if step is not None:
+                        yield step
+                pending = raw
+        if pending is not None:
+            step = self._classify(path, pending, None)
+            if step is not None:
+                yield step
+
+    # -- line parsing --------------------------------------------------
+
+    def _parse_line(self, path, lineno: int, line: str) -> Optional[_Raw]:
+        """One text line -> a :class:`_Raw` record, None for skipped
+        noise, or a micro-op continuation (returned with ``line=0``)."""
+        stripped = line.strip()
+        if not stripped:
+            return None
+        tick, sep, rest = stripped.partition(":")
+        if not sep or not tick.strip().isdigit():
+            # gem5 banners, warn:/info: chatter, build info
+            return None
+        parts = [part.strip() for part in rest.split(" : ")]
+        if len(parts) < 4:
+            # a tick-bearing line missing its OpClass field (truncated
+            # mid-write?) must not silently import as a NOP
+            raise self.error(path, lineno,
+                             "expected 'tick: cpu : pc : disasm : "
+                             f"OpClass : ...', got {stripped!r}")
+        pc_field = parts[1].split()
+        match = _PC_RE.match(pc_field[0]) if pc_field else None
+        if match is None:
+            raise self.error(path, lineno,
+                             f"bad pc field {parts[1]!r}")
+        pc = int(match.group(1), 16)
+        micro = int(match.group(2)) if match.group(2) else 0
+        disasm = parts[2]
+        mnemonic = disasm.split()[0].lower() if disasm.split() else ""
+        if not mnemonic:
+            raise self.error(path, lineno, "empty disassembly field")
+        opclass = parts[3].split()[0] if parts[3] else "No_OpClass"
+        if opclass not in OPCLASS_TO_KIND:
+            raise self.error(path, lineno,
+                             f"unknown op class '{opclass}' at pc "
+                             f"{pc:#x}")
+        tail = " : ".join(parts[3:])
+        addr_match = _ADDR_RE.search(tail)
+        flags_match = _FLAGS_RE.search(tail)
+        record = _Raw(
+            pc=pc,
+            mnemonic=mnemonic,
+            opclass=opclass,
+            flags=(set(flags_match.group(1).split("|"))
+                   if flags_match else set()),
+            mem_addr=(int(addr_match.group(1), 16)
+                      if addr_match else None),
+            regs=[int(n) % 32
+                  for n in _REG_RE.findall(disasm)[:3]],
+            line=lineno,
+            cpu=parts[0].partition(":")[0].strip(),
+        )
+        if micro:
+            record.line = 0  # continuation marker for events()
+        return record
+
+    # -- classification ------------------------------------------------
+
+    def _control_kind(self, raw: _Raw) -> Optional[InstrKind]:
+        flags = raw.flags
+        if flags:
+            if "IsCondControl" in flags:
+                return InstrKind.COND_BRANCH
+            if "IsReturn" in flags:
+                return InstrKind.INDIRECT_JUMP
+            if "IsCall" in flags:
+                return (InstrKind.CALL if "IsDirectControl" in flags
+                        else InstrKind.INDIRECT_CALL)
+            if "IsControl" in flags or "IsUncondControl" in flags:
+                return (InstrKind.JUMP if "IsDirectControl" in flags
+                        else InstrKind.INDIRECT_JUMP)
+        return CONTROL_MNEMONICS.get(raw.mnemonic)
+
+    def _classify(self, path, raw: _Raw,
+                  next_pc: Optional[int]) -> Optional[ForeignStep]:
+        """Resolve ``raw`` against its successor's pc (None at EOF)."""
+        regs = raw.regs + [0, 0, 0]
+        step = ForeignStep(pc=raw.pc, kind=OPCLASS_TO_KIND[raw.opclass],
+                           mnemonic=raw.mnemonic, rd=regs[0], rs=regs[1],
+                           rt=regs[2], line=raw.line)
+        fall_through = raw.pc + 4
+        control = self._control_kind(raw)
+        if control is InstrKind.COND_BRANCH:
+            if next_pc is None:
+                return None  # EOF: the outcome is unknowable, drop
+            step.kind = control
+            step.taken = next_pc != fall_through
+            if step.taken:
+                step.target = next_pc
+            return step
+        if control in (InstrKind.JUMP, InstrKind.CALL):
+            if next_pc is None:
+                return None  # EOF: destination unknowable, drop
+            step.kind = control
+            step.taken = True
+            step.target = next_pc
+            return step
+        if control in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
+            if next_pc is None:
+                return None
+            step.kind = control
+            step.taken = True
+            step.next_pc = next_pc
+            return step
+        if step.kind in (InstrKind.LOAD, InstrKind.STORE):
+            if raw.mem_addr is None:
+                raise self.error(
+                    path, raw.line,
+                    f"memory instruction '{raw.mnemonic}' at pc "
+                    f"{raw.pc:#x} carries no A= effective address (run "
+                    "gem5 with the ExecEffAddr debug flag)")
+            step.mem_addr = raw.mem_addr
+            if next_pc is not None and next_pc != fall_through:
+                raise self.error(
+                    path, raw.line,
+                    f"memory instruction at pc {raw.pc:#x} redirected "
+                    f"fetch to {next_pc:#x}; cannot represent an "
+                    "instruction that is both memory and control")
+            return step
+        if next_pc is not None and next_pc != fall_through:
+            # unrecognized instruction that redirected fetch: replay the
+            # observed flow as an indirect jump
+            step.kind = InstrKind.INDIRECT_JUMP
+            step.taken = True
+            step.next_pc = next_pc
+            return step
+        return step

@@ -13,6 +13,9 @@ This registry is the name space:
 * recorded instruction traces resolve under ``trace:<path>`` (see
   :mod:`repro.trace`) — the path is the registration, no explicit
   :func:`register` call needed;
+* foreign traces resolve under ``import:<format>:<path>`` (see
+  :mod:`repro.trace.importers`) — converted on the fly into an
+  on-demand replayable workload;
 * callers add their own entries with :func:`register` (any zero-argument
   factory) or :func:`register_profile` (a
   :class:`~repro.workloads.synthetic.WorkloadProfile`, generated on first
@@ -21,9 +24,9 @@ This registry is the name space:
 Resolution of generated workloads is memoized per process: generating a
 workload is expensive (seconds for the SPEC profiles) and deterministic,
 so one instance per name is both safe and necessary for the experiment
-layer's pass sharing.  ``trace:`` names are *not* memoized — the file is
-re-read on every resolve, so an edited trace is never served stale
-(loading a trace is cheap next to simulating it).
+layer's pass sharing.  ``trace:`` and ``import:`` names are *not*
+memoized — the file is re-read on every resolve, so an edited trace is
+never served stale (loading a trace is cheap next to simulating it).
 """
 
 from __future__ import annotations
@@ -46,6 +49,34 @@ WorkloadFactory = Callable[[], SyntheticWorkload]
 #: names with this prefix resolve to recorded traces; the remainder of
 #: the name is the file path
 TRACE_PREFIX = "trace:"
+#: names of the form ``import:<format>:<path>`` resolve to foreign
+#: traces converted on demand (see :mod:`repro.trace.importers`)
+IMPORT_PREFIX = "import:"
+
+
+def split_import_name(name: str) -> Tuple[str, str]:
+    """``import:<format>:<path>`` -> ``(format, path)``; raises
+    :class:`~repro.errors.RegistryError` for a malformed name."""
+    rest = name[len(IMPORT_PREFIX):]
+    fmt, sep, path = rest.partition(":")
+    if not sep or not fmt or not path:
+        raise RegistryError(
+            f"malformed import workload '{name}' (expected "
+            f"'{IMPORT_PREFIX}<format>:<path>', e.g. "
+            f"'{IMPORT_PREFIX}eio:runs/app.eio.txt')")
+    return fmt, path
+
+
+def file_backed_path(name: str) -> Union[str, None]:
+    """The file behind a ``trace:``/``import:`` workload name, or None
+    for generated (name-identified) workloads.  File-backed workloads
+    are the ones :class:`~repro.runner.JobSpec` content-addresses by
+    file digest, and the ones the detailed (ooo) engine cannot run."""
+    if name.startswith(TRACE_PREFIX):
+        return name[len(TRACE_PREFIX):]
+    if name.startswith(IMPORT_PREFIX):
+        return split_import_name(name)[1]
+    return None
 
 _FACTORIES: Dict[str, WorkloadFactory] = {}
 _INSTANCES: Dict[str, SyntheticWorkload] = {}
@@ -81,6 +112,10 @@ def register(name: str, factory: WorkloadFactory, *,
         raise RegistryError(
             f"the '{TRACE_PREFIX}' prefix is reserved for trace files "
             "(the path after the prefix is the registration)")
+    if name.startswith(IMPORT_PREFIX):
+        raise RegistryError(
+            f"the '{IMPORT_PREFIX}' prefix is reserved for foreign "
+            "trace imports (import:<format>:<path>)")
     if name in _FACTORIES and not replace:
         raise RegistryError(
             f"workload '{name}' is already registered "
@@ -100,13 +135,17 @@ def register_profile(profile: WorkloadProfile, *,
 
 def resolve(name: str) -> Union[SyntheticWorkload, "TraceWorkload"]:
     """The workload registered under ``name`` (generated and memoized on
-    first use; ``trace:`` names load the file fresh every time).  Raises
-    :class:`KeyError` for unknown names and
+    first use; ``trace:``/``import:`` names load the file fresh every
+    time).  Raises :class:`KeyError` for unknown names and
     :class:`~repro.errors.TraceError` for unreadable traces."""
     _ensure_builtins()
     if name.startswith(TRACE_PREFIX):
         from repro.trace.replay import load_trace_workload
         return load_trace_workload(name[len(TRACE_PREFIX):])
+    if name.startswith(IMPORT_PREFIX):
+        from repro.trace.importers import load_imported_workload
+        fmt, path = split_import_name(name)
+        return load_imported_workload(fmt, path)
     if name not in _FACTORIES:
         raise KeyError(
             f"unknown workload '{name}' (available: "
@@ -120,18 +159,26 @@ def is_registered(name: str) -> bool:
     _ensure_builtins()
     if name.startswith(TRACE_PREFIX):
         return os.path.isfile(name[len(TRACE_PREFIX):])
+    if name.startswith(IMPORT_PREFIX):
+        from repro.trace.importers import available_formats
+        try:
+            fmt, path = split_import_name(name)
+        except RegistryError:
+            return False
+        return fmt in available_formats() and os.path.isfile(path)
     return name in _FACTORIES
 
 
 def is_builtin(name: str) -> bool:
     """True when ``name`` resolves identically in any fresh process (the
-    SPEC stand-ins, ``micro.*`` entries *not* overridden, and ``trace:``
-    files — any process can read the file).  Custom registrations —
-    including builtin names replaced via ``register(..., replace=True)``
-    — exist only in the registering process; the sweep runner uses this
-    to keep their jobs out of spawned workers."""
+    SPEC stand-ins, ``micro.*`` entries *not* overridden, and
+    ``trace:``/``import:`` files — any process can read the file).
+    Custom registrations — including builtin names replaced via
+    ``register(..., replace=True)`` — exist only in the registering
+    process; the sweep runner uses this to keep their jobs out of
+    spawned workers."""
     _ensure_builtins()
-    if name.startswith(TRACE_PREFIX):
+    if name.startswith(TRACE_PREFIX) or name.startswith(IMPORT_PREFIX):
         return True
     return name not in _CUSTOM and _builtin_factory(name) is not None
 

@@ -89,6 +89,42 @@ class TestCachePurge:
                        warmup=50)
         assert store.get(spec) is None
 
+    def test_keep_bytes_evicts_lru_and_reports(self, populated_cache,
+                                               capsys):
+        """`purge --keep-bytes N` size-bounds the cache instead of
+        emptying it: oldest-mtime entries (and temp files) go, the
+        newest that fit stay."""
+        import os
+        entries = sorted(populated_cache.glob("*.json"),
+                         key=lambda p: p.name)
+        base = entries[0].stat().st_mtime
+        for i, path in enumerate(entries):
+            os.utime(path, (base + i, base + i))
+        keep = max(p.stat().st_size for p in entries) + 64
+        assert main(["cache", "purge", "--cache-dir",
+                     str(populated_cache), "--keep-bytes",
+                     str(keep)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out and "kept" in out
+        survivors = list(populated_cache.glob("*.json"))
+        assert survivors  # something stayed...
+        assert sum(p.stat().st_size for p in survivors) <= keep
+        assert not list(populated_cache.glob("*.json.tmp*"))
+        # the newest entry is among the survivors
+        assert entries[-1] in survivors
+
+    def test_keep_bytes_zero_empties_the_cache(self, populated_cache,
+                                               capsys):
+        assert main(["cache", "purge", "--cache-dir",
+                     str(populated_cache), "--keep-bytes", "0"]) == 0
+        assert list(populated_cache.glob("*.json*")) == []
+
+    def test_negative_keep_bytes_rejected(self, populated_cache,
+                                          capsys):
+        assert main(["cache", "purge", "--cache-dir",
+                     str(populated_cache), "--keep-bytes", "-5"]) == 1
+        assert "--keep-bytes" in capsys.readouterr().err
+
 
 class TestTraceCLI:
     def test_record_then_info(self, tmp_path, capsys):

@@ -168,6 +168,139 @@ class TestResultStore:
         assert store.purge() == 2
         assert len(list(tmp_path.glob("*.json"))) == 0
 
+    def test_deep_path_workload_name_fits_the_filesystem(self, tmp_path,
+                                                         micro_run):
+        """Regression: a trace:/import: workload naming a deep path used
+        to yield a cache filename beyond the 255-byte limit, making
+        ``put`` raise OSError(ENAMETOOLONG).  The slug is display-only —
+        the key suffix disambiguates — so it is capped instead."""
+        deep = "trace:" + "/".join(["deeply-nested-directory"] * 12) \
+            + "/workload.trace.gz"
+        spec = _spec(workload=deep, workload_digest="0" * 64)
+        store = ResultStore(tmp_path)
+        path = store.put(spec, micro_run)  # must not raise
+        assert len(path.name.encode()) <= 110
+        assert spec.key[:16] in path.name  # identity survives the cap
+        assert path.name.endswith(".json")
+        assert not path.name.startswith(".")
+        reread = ResultStore(tmp_path).get(spec)
+        assert reread is not None
+        assert _canonical(reread) == _canonical(micro_run)
+
+    def test_non_ascii_workload_name_capped_in_bytes(self, tmp_path,
+                                                     micro_run):
+        """Filesystem name limits are bytes, not characters: 80 CJK
+        characters are ~240 UTF-8 bytes, so a character cap would
+        re-introduce ENAMETOOLONG for non-ASCII trace paths."""
+        spec = _spec(workload="trace:/データ/" + "テスト" * 40
+                     + ".trace.gz", workload_digest="4" * 64)
+        store = ResultStore(tmp_path)
+        path = store.put(spec, micro_run)  # must not raise
+        assert len(path.name.encode("utf-8")) <= 110
+        assert ResultStore(tmp_path).get(spec) is not None
+
+    def test_capped_slugs_with_same_tail_do_not_collide(self, tmp_path,
+                                                        micro_run):
+        """Two distinct workloads whose sanitized names share a long
+        tail must still get distinct files (the key disambiguates)."""
+        tail = "x" * 200
+        a = _spec(workload=f"trace:/runs/a/{tail}",
+                  workload_digest="1" * 64)
+        b = _spec(workload=f"trace:/runs/b/{tail}",
+                  workload_digest="2" * 64)
+        store = ResultStore(tmp_path)
+        assert store.put(a, micro_run) != store.put(b, micro_run)
+
+    def test_precap_entries_migrate_instead_of_orphaning(self, tmp_path,
+                                                         micro_run):
+        """A cache written before the slug cap (81..236-char names that
+        were legal then) must keep answering: the entry is found at its
+        legacy filename and renamed to the capped one on first hit."""
+        spec = _spec(workload="trace:/runs/" + "y" * 120,
+                     workload_digest="3" * 64)
+        store = ResultStore(tmp_path)
+        capped = store.put(spec, micro_run)
+        legacy = store._legacy_path_for(spec)
+        assert legacy is not None and legacy != capped
+        capped.rename(legacy)  # what a pre-cap release left on disk
+        fresh = ResultStore(tmp_path)
+        reread = fresh.get(spec)
+        assert reread is not None
+        assert _canonical(reread) == _canonical(micro_run)
+        assert capped.exists() and not legacy.exists()  # migrated
+
+
+class TestResultStoreEviction:
+    def _fill(self, tmp_path, micro_run, count=4):
+        store = ResultStore(tmp_path)
+        paths = []
+        for i in range(count):
+            spec = _spec(instructions=1000 + i)
+            paths.append(store.put(spec, micro_run))
+        # stagger mtimes so LRU order is unambiguous (index 0 oldest)
+        import os
+        base = paths[0].stat().st_mtime
+        for i, path in enumerate(paths):
+            os.utime(path, (base + i, base + i))
+        return store, paths
+
+    def test_evicts_oldest_first_to_fit_the_budget(self, tmp_path,
+                                                   micro_run):
+        store, paths = self._fill(tmp_path, micro_run)
+        entry_bytes = paths[0].stat().st_size
+        removed, freed = store.evict(entry_bytes * 2 + entry_bytes // 2)
+        assert removed == 2
+        assert freed >= entry_bytes * 2
+        survivors = set(tmp_path.glob("*.json"))
+        assert survivors == set(paths[2:])  # the two newest
+
+    def test_keep_zero_clears_everything(self, tmp_path, micro_run):
+        store, paths = self._fill(tmp_path, micro_run)
+        (tmp_path / "orphan.json.tmp123").write_text("half-written")
+        removed, _ = store.evict(0)
+        assert removed == len(paths) + 1
+        assert not list(tmp_path.glob("*.json*"))
+
+    def test_survivors_are_a_strict_recency_prefix(self, tmp_path,
+                                                   micro_run):
+        """LRU means nothing older than an evicted entry survives: when
+        the newest entry alone busts the budget, everything goes —
+        older entries must not be kept around it."""
+        import os
+        store, paths = self._fill(tmp_path, micro_run)
+        newest = paths[-1]
+        # make the newest entry larger than the whole budget
+        newest.write_text(newest.read_text() + " " * 4096,
+                          encoding="utf-8")
+        mtime = max(p.stat().st_mtime for p in paths) + 10
+        os.utime(newest, (mtime, mtime))
+        budget = newest.stat().st_size - 1
+        removed, _ = store.evict(budget)
+        assert removed == len(paths)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_generous_budget_keeps_everything(self, tmp_path, micro_run):
+        store, paths = self._fill(tmp_path, micro_run)
+        assert store.evict(10 ** 12) == (0, 0)
+        assert set(tmp_path.glob("*.json")) == set(paths)
+
+    def test_evicted_entries_leave_the_memory_layer(self, tmp_path,
+                                                    micro_run):
+        store, _ = self._fill(tmp_path, micro_run)
+        assert len(store) == 4
+        store.evict(0)
+        assert len(store) == 0
+
+    def test_memory_only_store_is_a_noop(self, micro_run):
+        store = ResultStore()
+        store.put(_spec(), micro_run)
+        assert store.evict(0) == (0, 0)
+        assert len(store) == 1
+
+    def test_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).evict(-1)
+
 
 class TestSweepRunner:
     #: 2 benchmarks x 2 iTLB sizes — the acceptance grid, kept small
@@ -222,6 +355,111 @@ class TestSweepRunner:
             assert results[0].ok
             assert not results[1].ok
             assert "no.such.workload" in results[1].error
+
+    @staticmethod
+    def _break_map(monkeypatch, apply_behaviour):
+        """Make every wide pool map raise like a broken pool (the shape
+        a SIGKILLed worker produces from ProcessPoolExecutor) and route
+        the quarantine's single-job pool through ``apply_behaviour``."""
+        from repro.runner.sweep import _execute_payload
+
+        def broken_map(self, payloads, workers):
+            raise RuntimeError(
+                "A process in the process pool was terminated abruptly "
+                "(simulated SIGKILL)")
+
+        monkeypatch.setattr(SweepRunner, "_map_in_pool", broken_map)
+        monkeypatch.setattr(
+            SweepRunner, "_apply_in_pool",
+            lambda self, payload: apply_behaviour(_execute_payload,
+                                                  payload))
+
+    def test_broken_pool_quarantines_jobs_instead_of_aborting(
+            self, monkeypatch):
+        """Regression: only OSError was caught around the pool map, so a
+        worker killed mid-job (OOM/SIGKILL — a broken-pool error, not an
+        OSError) aborted the whole sweep instead of producing per-job
+        results."""
+        self._break_map(monkeypatch, lambda fn, payload: fn(payload))
+        specs = [_spec(instructions=1200, warmup=200),
+                 _spec(workload="micro.call_return", instructions=1200,
+                       warmup=200),
+                 _spec(workload="no.such.workload")]
+        runner = SweepRunner(store=ResultStore(), workers=2)
+        results = runner.run(specs)
+        assert results[0].ok and results[1].ok
+        assert not results[2].ok  # per-job capture still applies
+        assert "no.such.workload" in results[2].error
+        assert not runner.last_stats.parallel
+        assert runner.last_stats.simulated == 2
+        assert runner.last_stats.failed == 1
+
+    def test_fatal_job_costs_one_worker_not_the_sweep(self, monkeypatch):
+        """A job so poisonous it kills every worker it touches must end
+        up as that one job's error — never re-executed in the parent
+        process (where its OOM would kill the whole batch)."""
+        fatal_key = _spec(workload="micro.call_return",
+                          instructions=1200, warmup=200).to_dict()
+
+        def apply_behaviour(fn, payload):
+            if payload == fatal_key:
+                raise RuntimeError("worker killed again (simulated)")
+            return fn(payload)
+
+        self._break_map(monkeypatch, apply_behaviour)
+        specs = [_spec(instructions=1200, warmup=200),
+                 _spec(workload="micro.call_return", instructions=1200,
+                       warmup=200)]
+        runner = SweepRunner(store=ResultStore(), workers=2)
+        results = runner.run(specs)
+        assert results[0].ok
+        assert not results[1].ok
+        assert "worker process died" in results[1].error
+        assert runner.last_stats.failed == 1
+
+    def test_quarantined_recovery_matches_serial_byte_for_byte(
+            self, monkeypatch):
+        expected = SweepRunner(store=ResultStore(),
+                               workers=1).run(self.GRID[:2])
+        self._break_map(monkeypatch, lambda fn, payload: fn(payload))
+        recovered = SweepRunner(store=ResultStore(),
+                                workers=2).run(self.GRID[:2])
+        for want, got in zip(expected, recovered):
+            assert got.ok
+            assert _canonical(want.run) == _canonical(got.run)
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="the self-killing workload reaches workers only under "
+               "fork (custom registrations stay local otherwise)")
+    def test_really_sigkilled_worker_is_quarantined_end_to_end(self):
+        """The satellite's actual scenario, no stubs: a job whose
+        worker is SIGKILLed mid-simulation.  ProcessPoolExecutor raises
+        BrokenProcessPool (multiprocessing.Pool.map would hang forever
+        here), the quarantine re-runs every job in a private pool, and
+        the killer ends as one JobResult.error."""
+        import os
+        import signal
+        from repro.workloads import registry
+
+        def suicide():
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        registry.register("evil.selfkill", suicide)
+        try:
+            specs = [_spec(instructions=1000, warmup=100),
+                     _spec(workload="evil.selfkill",
+                           instructions=1000, warmup=100),
+                     _spec(workload="micro.call_return",
+                           instructions=1000, warmup=100)]
+            runner = SweepRunner(store=ResultStore(), workers=2)
+            results = runner.run(specs)
+            assert results[0].ok and results[2].ok
+            assert not results[1].ok
+            assert "worker process died" in results[1].error
+            assert runner.last_stats.failed == 1
+        finally:
+            registry.unregister("evil.selfkill")
 
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):

@@ -229,10 +229,61 @@ class TestJobSpecContentAddressing:
                          warmup=50)
         assert store.get(edited) is None  # different key: a miss
 
-    def test_missing_trace_fails_at_spec_construction(self, tmp_path):
-        with pytest.raises(TraceError, match="cannot stat"):
-            JobSpec(workload=f"trace:{tmp_path}/absent.trace.gz",
-                    config=default_config(), instructions=100)
+    def test_missing_trace_becomes_failed_job_not_crashed_batch(
+            self, tmp_path):
+        """A missing/unreadable trace file must not crash spec
+        *construction* (that would abort the whole batch build before
+        the sweep's per-job error capture could help); it surfaces as
+        that one job's error while the rest of the sweep completes."""
+        bad = JobSpec(workload=f"trace:{tmp_path}/absent.trace.gz",
+                      config=default_config(), instructions=100)
+        assert bad.workload_digest == "unreadable"
+        assert len(bad.key) == 64  # still batchable and hashable
+        good = JobSpec(workload="micro.counted_loop",
+                       config=default_config(), instructions=500,
+                       warmup=50)
+        results = SweepRunner(store=ResultStore()).run([bad, good])
+        assert not results[0].ok
+        assert "absent.trace.gz" in results[0].error
+        assert results[1].ok
+
+    def test_unreadable_digest_never_caches(self, tmp_path):
+        """Two specs over the same missing file share the sentinel key,
+        but failures are never stored, so nothing stale can be served
+        once the file appears (its real digest then takes over)."""
+        path = tmp_path / "late.trace.gz"
+        store = ResultStore(tmp_path / "cache")
+        spec = JobSpec(workload=f"trace:{path}", config=default_config(),
+                       instructions=300, warmup=50)
+        assert SweepRunner(store=store).run([spec])[0].ok is False
+        assert store.writes == 0
+        record_trace("micro.counted_loop", default_config(),
+                     instructions=400, warmup=50, path=path)
+        fresh = JobSpec(workload=f"trace:{path}", config=default_config(),
+                        instructions=300, warmup=50)
+        assert fresh.workload_digest != "unreadable"
+        assert fresh.key != spec.key
+
+    def test_sentinel_spec_refuses_to_run_even_if_file_appears(
+            self, tmp_path):
+        """The poisoning race: a spec built while the file was missing
+        must not run successfully after the file shows up — its result
+        would be stored under the sentinel key, where a later spec over
+        *different* file bytes could hit it.  run() refuses; a fresh
+        spec carries the real digest and works."""
+        path = tmp_path / "race.trace.gz"
+        stale = JobSpec(workload=f"trace:{path}", config=default_config(),
+                        instructions=300, warmup=50)
+        record_trace("micro.counted_loop", default_config(),
+                     instructions=400, warmup=50, path=path)
+        store = ResultStore(tmp_path / "cache")
+        result = SweepRunner(store=store).run([stale])[0]
+        assert not result.ok
+        assert "construct a new spec" in result.error
+        assert store.writes == 0  # nothing landed under the sentinel
+        fresh = JobSpec(workload=f"trace:{path}", config=default_config(),
+                        instructions=300, warmup=50)
+        assert SweepRunner(store=store).run([fresh])[0].ok
 
 
 class TestSweepRunnerIntegration:
