@@ -5,8 +5,12 @@ Subcommands:
 * ``report``       — run every experiment and write EXPERIMENTS.md
 * ``experiment``   — run one experiment and print its table
 * ``sweep``        — batch workloads x iTLB sizes through the parallel
-  sweep runner (``--workers``), with a persistent result cache
-  (``--cache-dir``) and machine-readable output (``--json``)
+  sweep runner (``--workers``, 0 = one per CPU), with a persistent
+  result cache (``--cache-dir``), machine-readable output (``--json``),
+  and a pluggable execution backend
+  (``--backend serial|pool|queue:<dir>``)
+* ``worker``       — long-running drain process for a ``queue:<dir>``
+  backend: N workers on N machines feed one result store
 * ``trace``        — ``record`` a workload's committed instruction
   stream to a trace file, ``import`` a foreign trace (SimpleScalar EIO
   / gem5) into the native format, list the importable ``formats``, or
@@ -27,6 +31,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import math
 import sys
 from typing import List, Optional
 
@@ -46,11 +51,41 @@ from repro.experiments.report import (
     write_experiments_md,
 )
 from repro.cpu.results import summarize_result
-from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.runner import (
+    FileQueueBackend,
+    JobSpec,
+    ResultStore,
+    SweepRunner,
+    resolve_backend,
+    resolve_workers,
+    run_worker,
+)
 from repro.sim.multi import run_all_schemes
 from repro.workloads.calibration import calibration_report
 from repro.workloads.spec2000 import BENCHMARK_NAMES
 from repro.workloads import registry
+
+
+def to_json(payload, indent: int = 2) -> str:
+    """Serialize CLI output as *strict* JSON.
+
+    ``json.dumps`` defaults to ``allow_nan=True`` and happily emits bare
+    ``NaN``/``Infinity`` tokens — which no strict parser (``jq``, other
+    languages, ``json.loads(..., parse_constant=...)`` consumers)
+    accepts.  Non-finite floats carry no information a downstream tool
+    can use anyway, so every one is mapped to ``null`` here; all CLI
+    ``--json`` paths must go through this helper.
+    """
+    def clean(value):
+        if isinstance(value, float) and not math.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {key: clean(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [clean(item) for item in value]
+        return value
+
+    return json.dumps(clean(payload), indent=indent, allow_nan=False)
 
 
 def _add_sim_args(parser: argparse.ArgumentParser, *,
@@ -67,7 +102,16 @@ def _add_sim_args(parser: argparse.ArgumentParser, *,
                              "SPEC stand-ins)")
     if workers:
         parser.add_argument("--workers", type=int, default=1,
-                            help="worker processes for simulation batches")
+                            help="worker processes for simulation batches "
+                                 "(0 = auto-detect, one per CPU)")
+        parser.add_argument("--backend", default=None,
+                            metavar="serial|pool|queue:<dir>",
+                            help="execution backend for simulation "
+                                 "batches (default: serial for "
+                                 "--workers 1, process pool otherwise; "
+                                 "queue:<dir> hands jobs to 'repro "
+                                 "worker' processes draining that "
+                                 "directory)")
 
 
 def _check_workloads(names, parser: argparse.ArgumentParser) -> None:
@@ -100,7 +144,8 @@ def _settings(args: argparse.Namespace):
     return default_settings(instructions=args.instructions,
                             warmup=args.warmup,
                             benchmarks=args.benchmarks,
-                            workers=getattr(args, "workers", 1))
+                            workers=getattr(args, "workers", 1),
+                            backend=getattr(args, "backend", None))
 
 
 def _run_sweep(args: argparse.Namespace,
@@ -123,16 +168,27 @@ def _run_sweep(args: argparse.Namespace,
                                  instructions=args.instructions,
                                  warmup=args.warmup, schemes=schemes))
 
-    store = ResultStore(args.cache_dir)
-    runner = SweepRunner(store=store, workers=args.workers)
+    try:
+        backend = resolve_backend(args.backend)
+    except ValueError as exc:
+        parser.error(f"--backend: {exc}")
+    cache_dir = args.cache_dir
+    if cache_dir is None and isinstance(backend, FileQueueBackend):
+        # a queue sweep's natural cache is the store its workers feed:
+        # repeat submissions then answer from it without re-enqueueing
+        cache_dir = backend.store_root
+    store = ResultStore(cache_dir)
+    runner = SweepRunner(store=store,
+                         workers=resolve_workers(args.workers),
+                         backend=backend)
     results = runner.run(specs)
     stats = runner.last_stats
 
     if args.json:
-        print(json.dumps({
+        print(to_json({
             "stats": dataclasses.asdict(stats),
             "jobs": [result.to_dict() for result in results],
-        }, indent=2))
+        }))
         return 1 if stats.failed else 0
 
     table = TableResult(
@@ -166,7 +222,7 @@ def _run_sweep(args: argparse.Namespace,
                                 if scheme.energy else float("nan")),
             })
     table.notes.append(stats.describe())
-    if args.cache_dir:
+    if cache_dir:
         table.notes.append(f"cache: {store.describe()}")
     print(table.render())
     return 1 if stats.failed else 0
@@ -231,7 +287,7 @@ def _run_trace(args: argparse.Namespace,
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(info, indent=2))
+        print(to_json(info))
         return 0
     def count(value) -> str:
         return f"{value:,}" if isinstance(value, int) else str(value)
@@ -250,6 +306,24 @@ def _run_trace(args: argparse.Namespace,
               f"{segment['steps']:,} steps, "
               f"{segment['distinct_instructions']:,} distinct "
               f"instructions, program '{meta.get('name', '?')}'")
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    if args.lease <= 0 or args.poll <= 0:
+        print("error: --lease and --poll must be > 0", file=sys.stderr)
+        return 2
+    stats = run_worker(
+        args.queue_dir,
+        drain=args.drain,
+        max_jobs=args.max_jobs,
+        lease_seconds=args.lease,
+        poll_seconds=args.poll,
+        idle_exit=args.idle_exit,
+        log=print,
+    )
+    # job failures are recorded in errors/ and belong to the submitter;
+    # the worker's exit code reflects only the worker process itself
     return 0
 
 
@@ -348,7 +422,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--instructions", type=int, default=120_000)
     p_sweep.add_argument("--warmup", type=int, default=20_000)
     p_sweep.add_argument("--workers", type=int, default=1,
-                         help="worker processes (1 = serial)")
+                         help="worker processes (1 = serial, 0 = "
+                              "auto-detect one per CPU)")
+    p_sweep.add_argument("--backend", default=None,
+                         metavar="serial|pool|queue:<dir>",
+                         help="execution backend (default: serial for "
+                              "--workers 1, process pool otherwise; "
+                              "queue:<dir> enqueues into a shared "
+                              "directory drained by 'repro worker' "
+                              "processes, caching results in "
+                              "<dir>/store unless --cache-dir is given)")
     p_sweep.add_argument("--cache-dir", default=None,
                          help="persist results here and reuse them on "
                               "repeat invocations")
@@ -414,6 +497,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_sub.add_parser(
         "formats", help="list the importable foreign trace formats")
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="drain jobs from a file-queue directory (see "
+             "'sweep --backend queue:<dir>'); run one per core/machine")
+    p_worker.add_argument("queue_dir",
+                          help="the queue directory (created if missing, "
+                               "so workers may start before the sweep)")
+    p_worker.add_argument("--drain", action="store_true",
+                          help="exit once the queue is idle (no pending "
+                               "jobs, no live claims) instead of "
+                               "waiting for more work")
+    p_worker.add_argument("--max-jobs", type=int, default=None,
+                          metavar="N", help="exit after claiming N jobs")
+    p_worker.add_argument("--lease", type=float, default=60.0,
+                          metavar="SECONDS",
+                          help="claim lease: a worker silent this long "
+                               "is presumed dead and its job requeued "
+                               "(default: 60)")
+    p_worker.add_argument("--poll", type=float, default=0.2,
+                          metavar="SECONDS",
+                          help="delay between queue polls when idle "
+                               "(default: 0.2)")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          metavar="SECONDS",
+                          help="exit after this long with nothing to do "
+                               "(default: wait forever)")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clean a result-store cache directory")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
@@ -449,8 +559,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
-    if getattr(args, "workers", 1) < 1:
-        parser.error("--workers must be >= 1")
+    if getattr(args, "workers", 1) < 0:
+        parser.error("--workers must be >= 0 (0 = auto-detect)")
+    if getattr(args, "backend", None) is not None:
+        # fail fast for report/experiment too, where the string would
+        # otherwise only reach resolve_backend deep inside prefetch
+        try:
+            resolve_backend(args.backend)
+        except ValueError as exc:
+            parser.error(f"--backend: {exc}")
     if getattr(args, "benchmarks", None):
         _check_workloads(args.benchmarks, parser)
 
@@ -461,6 +578,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # configs) get one clean line, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # sweeps persist their finished results before re-raising, and
+        # workers requeue their in-flight job — ^C is a clean exit
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _dispatch(args: argparse.Namespace,
@@ -476,6 +598,8 @@ def _dispatch(args: argparse.Namespace,
         return _run_sweep(args, parser)
     if args.command == "trace":
         return _run_trace(args, parser)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "calibrate":

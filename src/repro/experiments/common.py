@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
 from repro.errors import SimulationError
-from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.runner import JobSpec, ResultStore, SweepRunner, resolve_workers
 from repro.sim.multi import CombinedRun
 from repro.workloads.spec2000 import BENCHMARK_NAMES
 
@@ -42,8 +42,13 @@ class ExperimentSettings:
     #: resolvable name works, including recorded ``trace:<path>``
     #: workloads (whose simulation window must fit the recorded one)
     benchmarks: Tuple[str, ...] = BENCHMARK_NAMES
-    #: worker processes ``prefetch`` fans simulation out over (1 = serial)
+    #: worker processes ``prefetch`` fans simulation out over
+    #: (1 = serial, 0 = auto-detect one per CPU)
     workers: int = 1
+    #: execution backend for ``prefetch`` grids: ``None`` (pick serial
+    #: or pool from ``workers``), ``"serial"``, ``"pool"``, or
+    #: ``"queue:<dir>"`` to drain the grid through a worker fleet
+    backend: Optional[str] = None
 
     @property
     def paper_scale(self) -> float:
@@ -54,7 +59,8 @@ class ExperimentSettings:
 def default_settings(instructions: Optional[int] = None,
                      warmup: Optional[int] = None,
                      benchmarks: Optional[Sequence[str]] = None,
-                     workers: Optional[int] = None
+                     workers: Optional[int] = None,
+                     backend: Optional[str] = None
                      ) -> ExperimentSettings:
     kwargs = {}
     if instructions is not None:
@@ -67,6 +73,8 @@ def default_settings(instructions: Optional[int] = None,
         kwargs["benchmarks"] = tuple(benchmarks)
     if workers is not None:
         kwargs["workers"] = workers
+    if backend is not None:
+        kwargs["backend"] = backend
     return ExperimentSettings(**kwargs)
 
 
@@ -109,11 +117,15 @@ def prefetch(cells: Iterable[Tuple[str, MachineConfig]],
              settings: ExperimentSettings) -> None:
     """Fill the store for a batch of (benchmark, config) cells at once.
 
-    With ``settings.workers > 1`` the misses simulate in parallel; the
-    subsequent ``combined_run`` reads are then pure cache hits.  A failed
-    cell raises immediately — experiments cannot proceed without it.
+    With ``settings.workers > 1`` (or ``0``: one per CPU) the misses
+    simulate in parallel — through ``settings.backend`` when one is
+    named; the subsequent ``combined_run`` reads are then pure cache
+    hits.  A failed cell raises immediately — experiments cannot
+    proceed without it.
     """
-    runner = SweepRunner(store=_STORE, workers=settings.workers)
+    runner = SweepRunner(store=_STORE,
+                         workers=resolve_workers(settings.workers),
+                         backend=settings.backend)
     for result in runner.run(job_for(b, c, settings) for b, c in cells):
         if not result.ok:
             raise SimulationError(

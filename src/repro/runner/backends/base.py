@@ -1,0 +1,81 @@
+"""The execution-backend contract the :class:`SweepRunner` delegates to.
+
+A backend answers exactly one question: *given the de-duplicated list of
+cache-missing specs, what is each one's outcome?*  Everything around
+that — store probes, duplicate sharing, result ordering, persistence,
+stats bookkeeping — stays in :meth:`repro.runner.sweep.SweepRunner.run`,
+which is why swapping backends can never change a sweep's results, only
+where the simulations physically execute.
+
+Outcomes are ``(run, error)`` pairs: exactly one side is set.  A backend
+must return one outcome per input spec, in input order, and must capture
+per-job failures as outcomes rather than raising (a raise means the
+*backend* broke, not a job).  The single sanctioned exception is
+:class:`SweepInterrupted` — a ``KeyboardInterrupt`` subclass carrying
+the outcomes that completed before Ctrl-C, so the runner can persist
+them before re-raising.
+"""
+
+from __future__ import annotations
+
+import traceback
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.runner.jobspec import JobSpec
+from repro.sim.multi import CombinedRun
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner.sweep import SweepRunner, SweepStats
+
+#: one job's outcome: (result, None) on success, (None, traceback) on
+#: failure — never both, never neither
+Outcome = Tuple[Optional[CombinedRun], Optional[str]]
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C arrived mid-sweep.
+
+    Raised by backends instead of a bare ``KeyboardInterrupt`` so the
+    outcomes that finished before the interrupt are not lost:
+    :meth:`SweepRunner.run` persists :attr:`completed` to the store and
+    re-raises.  Subclassing ``KeyboardInterrupt`` keeps caller-side
+    ``except KeyboardInterrupt`` handling (and an interactive ^C exit)
+    working unchanged.
+    """
+
+    def __init__(self, completed: List[Tuple[JobSpec, Outcome]]) -> None:
+        super().__init__("sweep interrupted")
+        #: (spec, outcome) pairs that completed before the interrupt
+        self.completed = list(completed)
+
+
+def execute_spec(spec: JobSpec) -> Outcome:
+    """Run one spec in this process with per-job fault capture (the
+    in-process half every backend shares)."""
+    try:
+        return spec.run(), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+class ExecutionBackend(ABC):
+    """Strategy for physically executing a batch of cache-miss specs."""
+
+    #: short name recorded in :attr:`SweepStats.backend`
+    name: str = "?"
+
+    @abstractmethod
+    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+                stats: "SweepStats") -> List[Outcome]:
+        """Execute ``queue``, returning one outcome per spec in order.
+
+        ``runner`` supplies the process-pool seams
+        (:meth:`~repro.runner.sweep.SweepRunner._map_in_pool` et al.) so
+        tests — and subclasses — can intercept them in one place;
+        ``stats`` is live and the backend must set ``stats.parallel`` to
+        reflect how the batch actually ran.
+        """
+
+    def describe(self) -> str:
+        return self.name

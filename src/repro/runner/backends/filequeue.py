@@ -1,0 +1,457 @@
+"""Shared-directory work queue: one sweep, N worker processes/machines.
+
+The queue is a directory (any filesystem all participants can see —
+local disk for multi-process, NFS-style shares for multi-machine) with
+four subdirectories::
+
+    <queue>/jobs/<key>.json            pending job (the JobSpec payload)
+    <queue>/claims/<key>.<owner>.json  leased job (owner heartbeats mtime)
+    <queue>/errors/<key>.json          failed job (full traceback)
+    <queue>/store/                     shared ResultStore of finished runs
+
+Coordination uses nothing but atomic renames, so it works on any POSIX
+filesystem with no server, no locks, and no partial states:
+
+* **submit** writes ``jobs/<key>.json`` atomically (temp + rename); the
+  filename is the spec's content-address, so duplicate submissions of
+  the same job collapse to one file.
+* **claim** renames ``jobs/<key>.json`` to
+  ``claims/<key>.<owner>.json``.  Rename either succeeds or raises —
+  two workers racing for one job get exactly one winner.
+* **lease/heartbeat**: while executing, the owner touches its claim
+  file's mtime every ``lease/4`` seconds.  A claim whose mtime is older
+  than the lease belongs to a dead worker (SIGKILL, power loss) and any
+  worker may **reclaim** it — again by rename, back into ``jobs/``.
+* **complete**: the result goes into the shared store (first writer
+  wins — see ``ResultStore.put(..., overwrite=False)``), the claim file
+  is removed.  Failures write ``errors/<key>.json`` instead; submitters
+  surface them as that job's ``JobResult.error``.
+
+A worker that dies *after* putting the result but *before* releasing
+its claim costs nothing: the reclaimed job's store probe hits and the
+job is released without re-simulation — every job completes exactly
+once in the store.  Clock skew between machines must stay well under
+the lease for stale-claim detection to be meaningful.
+
+:class:`FileQueueBackend` is the submit side (plugs into
+:class:`~repro.runner.sweep.SweepRunner`); :func:`run_worker` is the
+drain side (the long-running ``repro worker <queue-dir>`` command).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Union
+
+from repro.errors import ConfigError
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    Outcome,
+    SweepInterrupted,
+    execute_spec,
+)
+from repro.runner.jobspec import JobSpec
+from repro.runner.store import ResultStore, atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.sweep import SweepRunner, SweepStats
+
+#: job-file schema version; workers refuse payloads from the future
+QUEUE_FORMAT = 1
+
+#: default lease: a worker silent this long is presumed dead
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: default delay between queue polls (submitters and idle workers)
+DEFAULT_POLL_SECONDS = 0.2
+
+
+def _owner_id() -> str:
+    """Filename-safe unique worker identity (host, pid, nonce)."""
+    host = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname())[:24]
+    return f"{host or 'host'}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class Claim:
+    """A leased job: the exclusive right to execute one spec."""
+
+    queue: "FileQueue"
+    key: str
+    path: Path  #: claims/<key>.<owner>.json (mtime is the heartbeat)
+    payload: Optional[dict]  #: the job file's content (None: unreadable)
+
+    def heartbeat(self) -> None:
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass  # reclaimed from under us; completion handles it
+
+    def release(self) -> None:
+        """Drop the claim (job finished or already answered)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def requeue(self) -> None:
+        """Hand the job back (worker shutting down mid-job)."""
+        try:
+            os.rename(self.path, self.queue.jobs_dir / f"{self.key}.json")
+        except OSError:
+            pass  # reclaimed already — someone else owns it now
+
+
+class FileQueue:
+    """The on-disk queue structure (shared by submitters and workers)."""
+
+    JOBS, CLAIMS, ERRORS, STORE = "jobs", "claims", "errors", "store"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / self.JOBS
+        self.claims_dir = self.root / self.CLAIMS
+        self.errors_dir = self.root / self.ERRORS
+        self.store_dir = self.root / self.STORE
+        for directory in (self.jobs_dir, self.claims_dir,
+                          self.errors_dir, self.store_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- submit side ---------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> bool:
+        """Enqueue ``spec`` unless it is already pending or claimed.
+        A stale error file for the same key is cleared first, so
+        re-submitting a previously failed job retries it."""
+        key = spec.key
+        self.clear_error(key)
+        if (self.jobs_dir / f"{key}.json").exists() or self.claims(key):
+            return False
+        payload = {"format": QUEUE_FORMAT, "key": key,
+                   "spec": spec.to_dict()}
+        atomic_write_text(self.jobs_dir / f"{key}.json",
+                          json.dumps(payload))
+        return True
+
+    def read_error(self, key: str) -> Optional[str]:
+        """The recorded failure for ``key``, or None."""
+        try:
+            entry = json.loads((self.errors_dir / f"{key}.json")
+                               .read_text(encoding="utf-8"))
+            return str(entry.get("traceback", "unknown queue failure"))
+        except (OSError, ValueError):
+            return None
+
+    def write_error(self, key: str, tb: str, owner: str = "") -> None:
+        atomic_write_text(self.errors_dir / f"{key}.json",
+                          json.dumps({"key": key, "owner": owner,
+                                      "traceback": tb}))
+
+    def clear_error(self, key: str) -> None:
+        try:
+            (self.errors_dir / f"{key}.json").unlink()
+        except OSError:
+            pass
+
+    # -- worker side ---------------------------------------------------
+
+    def claim_next(self, owner: str) -> Optional[Claim]:
+        """Claim one pending job by atomic rename, or None if the
+        ``jobs/`` directory is (or just became) empty."""
+        for job in sorted(self.jobs_dir.glob("*.json")):
+            key = job.name[:-len(".json")]
+            target = self.claims_dir / f"{key}.{owner}.json"
+            try:
+                os.rename(job, target)
+            except OSError:
+                continue  # lost the race for this one; try the next
+            try:
+                payload = json.loads(target.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = None
+            return Claim(queue=self, key=key, path=target, payload=payload)
+        return None
+
+    def reclaim_stale(self, lease_seconds: float) -> int:
+        """Requeue every claim whose heartbeat stopped more than
+        ``lease_seconds`` ago; returns how many were reclaimed."""
+        now = time.time()
+        reclaimed = 0
+        for claim in self.claims_dir.glob("*.json"):
+            try:
+                mtime = claim.stat().st_mtime
+            except OSError:
+                continue  # released while we were scanning
+            if now - mtime <= lease_seconds:
+                continue
+            key = claim.name.split(".", 1)[0]
+            try:
+                os.rename(claim, self.jobs_dir / f"{key}.json")
+            except OSError:
+                continue  # another worker reclaimed it first
+            reclaimed += 1
+        return reclaimed
+
+    # -- introspection -------------------------------------------------
+
+    def claims(self, key: Optional[str] = None) -> List[Path]:
+        pattern = f"{key}.*.json" if key else "*.json"
+        return sorted(self.claims_dir.glob(pattern))
+
+    def pending(self) -> List[Path]:
+        return sorted(self.jobs_dir.glob("*.json"))
+
+    def idle(self) -> bool:
+        """Nothing queued and nothing being worked on."""
+        return not self.pending() and not self.claims()
+
+
+class _Heartbeat:
+    """Background thread refreshing a claim's mtime during execution."""
+
+    def __init__(self, claim: Claim, interval: float) -> None:
+        self._claim = claim
+        self._interval = max(interval, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._claim.heartbeat()
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+class FileQueueBackend(ExecutionBackend):
+    """Submit jobs to a queue directory and wait for workers to answer.
+
+    ``timeout`` bounds how long the submitter waits *without progress*
+    (no job finishing); when it expires, every still-pending job gets a
+    descriptive error outcome instead of hanging a fleetless sweep
+    forever.  ``timeout=None`` (the default) waits indefinitely.
+    """
+
+    name = "queue"
+
+    def __init__(self, root: Union[str, Path],
+                 poll_seconds: float = DEFAULT_POLL_SECONDS,
+                 timeout: Optional[float] = None) -> None:
+        self.root = Path(root)
+        self.poll_seconds = poll_seconds
+        self.timeout = timeout
+
+    @property
+    def store_root(self) -> Path:
+        """The shared result store workers drain into."""
+        return Path(self.root) / FileQueue.STORE
+
+    def describe(self) -> str:
+        return f"queue:{self.root}"
+
+    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+                stats: "SweepStats") -> List[Outcome]:
+        stats.parallel = len(queue) > 1
+        fq = FileQueue(self.root)
+        store = ResultStore(fq.store_dir)
+        outcome_for: Dict[str, Outcome] = {}
+        pending: Dict[str, JobSpec] = {}
+        for spec in queue:
+            run = store.get(spec)  # a worker may already have answered
+            if run is not None:
+                outcome_for[spec.key] = (run, None)
+                continue
+            fq.submit(spec)
+            pending[spec.key] = spec
+        try:
+            self._wait(fq, store, pending, outcome_for)
+        except KeyboardInterrupt:
+            done = [(spec, outcome_for[spec.key]) for spec in queue
+                    if spec.key in outcome_for]
+            raise SweepInterrupted(done) from None
+        return [outcome_for[spec.key] for spec in queue]
+
+    def _wait(self, fq: FileQueue, store: ResultStore,
+              pending: Dict[str, JobSpec],
+              outcome_for: Dict[str, Outcome]) -> None:
+        deadline = (None if self.timeout is None
+                    else time.monotonic() + self.timeout)
+        while pending:
+            progressed = False
+            for key in list(pending):
+                run = store.get(pending[key])
+                if run is not None:
+                    outcome_for[key] = (run, None)
+                    del pending[key]
+                    progressed = True
+                    continue
+                error = fq.read_error(key)
+                if error is not None:
+                    outcome_for[key] = (None, error)
+                    del pending[key]
+                    progressed = True
+            if not pending:
+                return
+            if progressed:
+                if deadline is not None:  # progress resets the clock
+                    deadline = time.monotonic() + self.timeout
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                message = (
+                    f"timed out after {self.timeout:g}s with no queue "
+                    f"progress; no worker answered this job (drain "
+                    f"'{self.root}' with: repro worker {self.root})")
+                for key in list(pending):
+                    outcome_for[key] = (None, message)
+                pending.clear()
+                return
+            time.sleep(self.poll_seconds)
+
+
+# ---------------------------------------------------------------------------
+# Worker loop (the `repro worker` command)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` invocation did."""
+
+    claimed: int = 0
+    executed: int = 0  #: simulated here and stored
+    cached: int = 0  #: claim released because the store already answered
+    failed: int = 0  #: error file written
+    reclaimed: int = 0  #: stale claims handed back to the queue
+
+    def describe(self) -> str:
+        return (f"{self.claimed} claimed: {self.executed} executed, "
+                f"{self.cached} already in store, {self.failed} failed; "
+                f"{self.reclaimed} stale claim(s) reclaimed")
+
+
+def run_worker(root: Union[str, Path], *,
+               drain: bool = False,
+               max_jobs: Optional[int] = None,
+               lease_seconds: float = DEFAULT_LEASE_SECONDS,
+               poll_seconds: float = DEFAULT_POLL_SECONDS,
+               idle_exit: Optional[float] = None,
+               log: Optional[Callable[[str], None]] = None) -> WorkerStats:
+    """Drain jobs from a queue directory until told to stop.
+
+    * ``drain=True`` — exit once the queue is idle (no pending jobs, no
+      live claims): the batch-mode workhorse.
+    * ``idle_exit=N`` — exit after N seconds with nothing to do (lets a
+      fleet outlive one sweep but not linger forever).
+    * ``max_jobs=N`` — exit after claiming N jobs.
+    * default — run until interrupted (the long-lived fleet member).
+
+    Ctrl-C requeues the in-flight job (no lease wait for the others)
+    and re-raises.  Returns this worker's :class:`WorkerStats`.
+    """
+    queue = FileQueue(root)
+    store = ResultStore(queue.store_dir)
+    owner = _owner_id()
+    stats = WorkerStats()
+    emit = log or (lambda line: None)
+    emit(f"worker {owner} draining {queue.root}")
+    idle_since: Optional[float] = None
+    while True:
+        if max_jobs is not None and stats.claimed >= max_jobs:
+            break
+        claim = queue.claim_next(owner)
+        if claim is None:
+            reclaimed = queue.reclaim_stale(lease_seconds)
+            if reclaimed:
+                stats.reclaimed += reclaimed
+                emit(f"reclaimed {reclaimed} stale claim(s)")
+                continue
+            if drain and queue.idle():
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if idle_exit is not None and now - idle_since >= idle_exit:
+                break
+            time.sleep(poll_seconds)
+            continue
+        idle_since = None
+        stats.claimed += 1
+        try:
+            _process_claim(queue, store, claim, owner, lease_seconds,
+                           stats, emit)
+        except KeyboardInterrupt:
+            claim.requeue()
+            emit(f"interrupted; requeued {claim.key[:16]}")
+            raise
+    emit(f"worker {owner} done: {stats.describe()}")
+    return stats
+
+
+def _parse_claim(claim: Claim) -> JobSpec:
+    """The spec a claim holds; raises :class:`ConfigError` on any
+    malformed, foreign-format, or tampered payload."""
+    payload = claim.payload
+    if not isinstance(payload, dict):
+        raise ConfigError("job file is not a JSON object")
+    if payload.get("format") != QUEUE_FORMAT:
+        raise ConfigError(
+            f"unsupported queue job format {payload.get('format')!r} "
+            f"(this worker speaks format {QUEUE_FORMAT})")
+    spec = JobSpec.from_dict(payload["spec"])
+    if payload.get("key") != spec.key:
+        raise ConfigError(
+            "job file key does not match its spec (tampered, renamed, "
+            "or produced by an incompatible version)")
+    return spec
+
+
+def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
+                   owner: str, lease_seconds: float, stats: WorkerStats,
+                   emit: Callable[[str], None]) -> None:
+    try:
+        spec = _parse_claim(claim)
+    except Exception:
+        # poisoned job file: record and drop it (requeueing would just
+        # bounce it between workers forever)
+        queue.write_error(claim.key, traceback.format_exc(), owner)
+        claim.release()
+        stats.failed += 1
+        emit(f"bad job file {claim.key[:16]} -> error recorded")
+        return
+    if store.get(spec) is not None:
+        # answered while queued (reclaimed job whose first owner died
+        # after the put, or a concurrent sweep) — exactly-once holds
+        claim.release()
+        stats.cached += 1
+        emit(f"cached {claim.key[:16]} {spec.describe()}")
+        return
+    emit(f"run    {claim.key[:16]} {spec.describe()}")
+    with _Heartbeat(claim, interval=lease_seconds / 4):
+        run, error = execute_spec(spec)
+    if run is not None:
+        # overwrite=False: if our lease was reclaimed and the other
+        # worker beat us to the put, keep its (identical) entry
+        store.put(spec, run, overwrite=False)
+        queue.clear_error(spec.key)
+        stats.executed += 1
+        emit(f"done   {claim.key[:16]}")
+    else:
+        queue.write_error(spec.key, error or "unknown failure", owner)
+        stats.failed += 1
+        emit(f"FAILED {claim.key[:16]}: "
+             f"{error.strip().splitlines()[-1] if error else '?'}")
+    claim.release()

@@ -1,0 +1,138 @@
+"""Process-pool execution (the historical ``workers > 1`` path).
+
+The logic moved here verbatim from ``SweepRunner._run_parallel``; the
+raw pool seams (``_map_in_pool`` / ``_apply_in_pool`` / ``_mp_context``)
+deliberately stayed on :class:`SweepRunner` so the existing tests — and
+any code that intercepts them — keep one stable patch point.  The
+fallback chain is unchanged:
+
+* pools unavailable at all (no semaphores: ``OSError`` /
+  ``NotImplementedError``) — run serially in-process;
+* pool broke mid-map (a worker OOM/SIGKILLed raises
+  ``BrokenProcessPool``) — quarantine each remaining job in its own
+  disposable single-worker pool so a fatal job costs one private worker
+  and one ``JobResult.error``, never the parent or the batch;
+* fewer than two pool-eligible jobs — parallelism cannot pay, go serial.
+
+Custom workload registrations live only in the parent process, so under
+a non-``fork`` start method their jobs execute in-process while builtin
+workloads still go to the pool.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import List, Set, TYPE_CHECKING
+
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    Outcome,
+    SweepInterrupted,
+)
+from repro.runner.jobspec import JobSpec
+from repro.sim.multi import CombinedRun
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.sweep import SweepRunner, SweepStats
+
+
+def _start_method() -> str:
+    """The active multiprocessing start method, read through the sweep
+    module's ``multiprocessing`` name (tests swap that name for a
+    specific start-method context)."""
+    from repro.runner import sweep
+    return sweep.multiprocessing.get_start_method()
+
+
+class PoolBackend(ExecutionBackend):
+    """Fan jobs out over a ``ProcessPoolExecutor``."""
+
+    name = "pool"
+
+    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+                stats: "SweepStats") -> List[Outcome]:
+        from repro.runner.backends.serial import SerialBackend
+        from repro.runner.sweep import _MapInterrupted
+
+        stats.parallel = runner.workers > 1 and len(queue) > 1
+        if not stats.parallel:
+            return SerialBackend().execute(queue, runner, stats)
+
+        # a spawned/forkserver worker re-imports the registry from
+        # scratch, so only builtin workload names resolve there; jobs
+        # naming custom registrations must stay in this process
+        if _start_method() == "fork":
+            local: Set[int] = set()
+        else:
+            from repro.workloads.registry import is_builtin
+            local = {i for i, spec in enumerate(queue)
+                     if not is_builtin(spec.workload)}
+        remote = [spec for i, spec in enumerate(queue) if i not in local]
+        if len(remote) < 2:
+            return SerialBackend().execute(queue, runner, stats)
+
+        payloads = [spec.to_dict() for spec in remote]
+        try:
+            raw = runner._map_in_pool(payloads,
+                                      min(runner.workers, len(remote)))
+        except _MapInterrupted as exc:
+            # Ctrl-C mid-map: _map_in_pool already cancelled the pending
+            # futures; pair what did finish with its specs (results come
+            # back in submission order, so the finished prefix lines up)
+            completed = [
+                (spec, ((CombinedRun.from_dict(payload), None) if ok
+                        else (None, payload["traceback"])))
+                for spec, (ok, payload) in zip(remote, exc.raw)]
+            raise SweepInterrupted(completed) from None
+        except (OSError, NotImplementedError):
+            # restricted environments (no /dev/shm, no sem_open): pools
+            # are unusable here at all, so run serially in-process —
+            # per-job fault capture still applies
+            return SerialBackend().execute(queue, runner, stats)
+        except Exception:
+            # the pool itself broke mid-map — a worker killed outright
+            # (OOM/SIGKILL) surfaces from the executor as
+            # BrokenProcessPool, never as a per-job exception
+            # (_execute_payload catches those).  One of the jobs is
+            # probably fatal, so do NOT pull the queue into this
+            # process: quarantine each job in its own single-worker
+            # pool instead, so a re-offending job takes down only its
+            # private worker and becomes that one JobResult's error
+            # while the rest of the sweep completes.
+            stats.parallel = False
+            return self._run_quarantined(queue, local, runner)
+        remote_outcomes = iter(
+            (CombinedRun.from_dict(payload), None) if ok
+            else (None, payload["traceback"])
+            for ok, payload in raw)
+        return [runner._run_one(spec) if i in local
+                else next(remote_outcomes)
+                for i, spec in enumerate(queue)]
+
+    @staticmethod
+    def _run_quarantined(queue: List[JobSpec], local: Set[int],
+                         runner: "SweepRunner") -> List[Outcome]:
+        """Recovery path after a broken pool: one disposable
+        single-worker pool per remaining job."""
+        outcomes: List[Outcome] = []
+        for i, spec in enumerate(queue):
+            if i in local:
+                outcomes.append(runner._run_one(spec))
+                continue
+            try:
+                ok, payload = runner._apply_in_pool(spec.to_dict())
+            except (OSError, NotImplementedError):
+                # pools just became unavailable (not a job death):
+                # in-process is the only option left
+                outcomes.append(runner._run_one(spec))
+                continue
+            except Exception:
+                outcomes.append((None, (
+                    "worker process died while running this job "
+                    "(killed by the OS — out of memory?); the job was "
+                    "quarantined so the rest of the sweep could "
+                    f"complete\n{traceback.format_exc()}")))
+                continue
+            outcomes.append((CombinedRun.from_dict(payload), None) if ok
+                            else (None, payload["traceback"]))
+        return outcomes

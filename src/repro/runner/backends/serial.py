@@ -1,0 +1,39 @@
+"""In-process serial execution — the reference backend.
+
+Every other backend's acceptance bar is "byte-identical to what
+:class:`SerialBackend` produces"; it is also the forced choice when
+``workers=1`` or when ``multiprocessing`` is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    Outcome,
+    SweepInterrupted,
+)
+from repro.runner.jobspec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner.sweep import SweepRunner, SweepStats
+
+
+class SerialBackend(ExecutionBackend):
+    """Run each job in this process, one after another."""
+
+    name = "serial"
+
+    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+                stats: "SweepStats") -> List[Outcome]:
+        stats.parallel = False
+        done: List[Outcome] = []
+        try:
+            for spec in queue:
+                done.append(runner._run_one(spec))
+        except KeyboardInterrupt:
+            # _run_one captures Exception only, so ^C lands here; hand
+            # the finished prefix to the runner for persistence
+            raise SweepInterrupted(list(zip(queue, done))) from None
+        return done

@@ -125,6 +125,15 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
+        # a spec dict can now arrive from another machine (file-queue
+        # job files): refuse foreign schema versions with a typed error
+        # a worker can record, instead of mis-parsing them silently
+        fmt = data.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            from repro.errors import ConfigError
+            raise ConfigError(
+                f"job spec has format {fmt!r}; this version speaks "
+                f"format {SPEC_FORMAT} (mixed-version queue?)")
         return cls(
             workload=data["workload"],
             config=MachineConfig.from_dict(data["config"]),

@@ -40,6 +40,24 @@ STORE_FORMAT = 1
 MAX_SLUG_BYTES = 80
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename),
+    removing the temp file on *any* failure — a Ctrl-C mid-write must
+    not strand ``.tmp<pid>`` litter next to the target.  Shared by the
+    store and the file-queue backend: readers on other processes (or
+    machines) see the old content or the new, never a torn write."""
+    tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
 class ResultStore:
     """Cache of :class:`CombinedRun` results keyed by job content."""
 
@@ -142,23 +160,36 @@ class ResultStore:
 
     # -- insertion -----------------------------------------------------
 
-    def put(self, spec: JobSpec, run: CombinedRun) -> Optional[Path]:
+    def put(self, spec: JobSpec, run: CombinedRun, *,
+            overwrite: bool = True) -> Optional[Path]:
         """Record ``run`` as the result of ``spec``; returns the on-disk
-        path (None for memory-only stores)."""
+        path (None for memory-only stores).
+
+        ``overwrite=False`` is the claim-aware form used by queue
+        workers: when the entry already exists on disk — a worker whose
+        lease was reclaimed finishing second, or a concurrent sweep —
+        the first writer's (identical) entry is kept, so late
+        duplicates can neither double-write nor refresh the entry's
+        LRU position.
+
+        The write is atomic (temp file + rename) and the temp file is
+        removed on *any* failure — a Ctrl-C mid-``put`` must not strand
+        ``.json.tmp<pid>`` litter in the cache directory.
+        """
         key = spec.key
         self._memory[key] = run
         path = self.path_for(spec)
         if path is None:
             return None
+        if not overwrite and path.exists():
+            return path
         entry = {
             "format": STORE_FORMAT,
             "key": key,
             "spec": spec.to_dict(),
             "result": run.to_dict(),
         }
-        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
-        tmp.write_text(json.dumps(entry), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(entry))
         self.writes += 1
         return path
 
@@ -243,8 +274,9 @@ class ResultStore:
 
     def evict(self, keep_bytes: int) -> Tuple[int, int]:
         """Size-bound the cache directory with a strict LRU cutoff:
-        walking entries newest-mtime-first (``put`` rewrites an entry's
-        file, refreshing its mtime), keep them while the cumulative
+        walking entries newest-first — by mtime, equal mtimes broken
+        deterministically by filename (``put`` rewrites an entry's
+        file, refreshing its mtime) — keep them while the cumulative
         size fits ``keep_bytes``; the first entry that does not fit —
         and everything older than it — is deleted.  Survivors are
         always a recency prefix: nothing older than an evicted entry is
@@ -265,7 +297,12 @@ class ResultStore:
                 freed += size
             except OSError:
                 pass
-        entries = sorted(self.disk_entries(), key=lambda r: r["mtime"],
+        # mtime alone is not a total order: filesystem timestamp
+        # granularity makes same-instant writes tie, and a tie broken
+        # arbitrarily can evict a just-written entry while keeping an
+        # older one.  The filename is the deterministic tie-break.
+        entries = sorted(self.disk_entries(),
+                         key=lambda r: (r["mtime"], r["path"].name),
                          reverse=True)
         kept = 0
         evicting = False

@@ -1,4 +1,4 @@
-"""Fan a batch of :class:`JobSpec` out over worker processes.
+"""Fan a batch of :class:`JobSpec` out over an execution backend.
 
 Design points, in the order they matter:
 
@@ -6,21 +6,25 @@ Design points, in the order they matter:
   :class:`~repro.runner.store.ResultStore` when possible; only misses
   are simulated, and duplicate specs in one batch are simulated once.
 * **Deterministic.**  Results come back in input order regardless of
-  worker scheduling, and a parallel run produces results identical to a
-  serial one: each job is a self-contained simulation, and the dict
-  round-trip that carries a result across the process boundary is exact
+  worker scheduling, and every backend produces results identical to a
+  serial run: each job is a self-contained simulation, and the dict
+  round-trip that carries a result across a process boundary is exact
   (ints verbatim, floats by value).
 * **Fault isolated.**  A failing job becomes a :class:`JobResult` with
   ``error`` set (full traceback); the rest of the sweep completes.
-  ``workers=1`` — or an environment where ``multiprocessing`` cannot
-  start (no semaphores in some sandboxes) — runs serially in-process,
-  and a pool that breaks mid-sweep (a worker OOM/SIGKILLed) re-runs
-  each remaining job quarantined in its own single-worker pool, so a
-  genuinely fatal job costs one private worker and one
-  ``JobResult.error`` — never the parent process or the batch.
+  The pool backend survives broken pools by quarantining jobs (see
+  :mod:`repro.runner.backends.pool`), and Ctrl-C persists every
+  already-finished result before re-raising.
 
-Workers receive spec *dicts* and return result *dicts*: both sides of
-the pipe are plain data, so nothing in the simulator needs to be
+*Where* the cache-missing jobs execute is pluggable
+(:mod:`repro.runner.backends`): serially in-process, across a local
+process pool, or through a shared-directory file queue drained by
+``repro worker`` processes on any number of machines.  By default the
+runner picks serial for ``workers=1`` and the pool otherwise — the
+historical behaviour.
+
+Pool workers receive spec *dicts* and return result *dicts*: both sides
+of the pipe are plain data, so nothing in the simulator needs to be
 picklable.  One start-method caveat: custom workload registrations
 (:func:`repro.workloads.registry.register`) live only in the parent
 process, so under a non-``fork`` start method their jobs are executed
@@ -30,14 +34,31 @@ in-process while builtin workloads still go to the pool.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    SweepInterrupted,
+    execute_spec,
+)
 from repro.runner.jobspec import JobSpec
 from repro.runner.store import ResultStore
 from repro.sim.multi import CombinedRun
+
+
+def resolve_workers(workers: int) -> int:
+    """Interpret a worker-count setting: ``0`` means auto-detect (one
+    worker per CPU), positive counts pass through, negatives are
+    rejected."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = auto-detect)")
+    return workers
 
 
 def _execute_payload(payload: dict) -> Tuple[bool, dict]:
@@ -48,6 +69,15 @@ def _execute_payload(payload: dict) -> Tuple[bool, dict]:
         return True, run.to_dict()
     except Exception:
         return False, {"traceback": traceback.format_exc()}
+
+
+class _MapInterrupted(KeyboardInterrupt):
+    """Ctrl-C inside :meth:`SweepRunner._map_in_pool`; carries the raw
+    ``(ok, payload)`` pairs that finished before the interrupt."""
+
+    def __init__(self, raw: List[Tuple[bool, dict]]) -> None:
+        super().__init__("pool map interrupted")
+        self.raw = list(raw)
 
 
 @dataclass
@@ -83,9 +113,12 @@ class SweepStats:
     failed: int = 0
     deduplicated: int = 0
     parallel: bool = False
+    backend: str = "serial"  #: which execution backend ran the misses
 
     def describe(self) -> str:
         mode = "parallel" if self.parallel else "serial"
+        if self.backend not in (mode, "serial", "pool"):
+            mode = f"{mode} via {self.backend}"
         dedup = (f", {self.deduplicated} duplicate(s) shared"
                  if self.deduplicated else "")
         return (f"{self.jobs} jobs: {self.cached} from cache, "
@@ -94,19 +127,43 @@ class SweepStats:
 
 
 class SweepRunner:
-    """Execute batches of jobs against a shared result store."""
+    """Execute batches of jobs against a shared result store.
+
+    ``backend`` picks where cache-missing jobs execute: an
+    :class:`~repro.runner.backends.base.ExecutionBackend` instance, a
+    spelling accepted by
+    :func:`~repro.runner.backends.resolve_backend` (``"serial"``,
+    ``"pool"``, ``"queue:<dir>"``), or ``None`` for the historical
+    default (serial when ``workers == 1``, the process pool otherwise).
+    """
 
     def __init__(self, store: Optional[ResultStore] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 backend: Union[str, ExecutionBackend, None] = None
+                 ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        from repro.runner.backends import resolve_backend
         self.store = store if store is not None else ResultStore()
         self.workers = workers
+        self.backend = resolve_backend(backend)
         self.last_stats = SweepStats()
+
+    def _backend(self) -> ExecutionBackend:
+        """The backend this run will use (resolving the default)."""
+        if self.backend is not None:
+            return self.backend
+        from repro.runner.backends import PoolBackend, SerialBackend
+        return PoolBackend() if self.workers > 1 else SerialBackend()
 
     def run(self, specs: Iterable[JobSpec]) -> List[JobResult]:
         """Run every spec (cache, then simulate misses), returning one
-        :class:`JobResult` per input spec, in input order."""
+        :class:`JobResult` per input spec, in input order.
+
+        A ``KeyboardInterrupt`` mid-sweep persists every finished
+        result to the store, shuts the backend's workers down, and
+        re-raises — a re-run picks up where the interrupt landed.
+        """
         specs = list(specs)
         stats = SweepStats(jobs=len(specs))
         results: List[Optional[JobResult]] = [None] * len(specs)
@@ -129,9 +186,20 @@ class SweepRunner:
             indices_for[key] = [i]
             queue.append(spec)
 
-        stats.parallel = self.workers > 1 and len(queue) > 1
-        outcomes = (self._run_parallel(queue, stats) if stats.parallel
-                    else [self._run_one(spec) for spec in queue])
+        backend = self._backend()
+        stats.backend = backend.name
+        try:
+            outcomes = backend.execute(queue, self, stats)
+        except SweepInterrupted as exc:
+            # keep what finished: a re-run answers those from the cache
+            for spec, (run, error) in exc.completed:
+                if run is not None:
+                    self.store.put(spec, run)
+                    stats.simulated += 1
+                else:
+                    stats.failed += 1
+            self.last_stats = stats
+            raise
 
         for spec, (run, error) in zip(queue, outcomes):
             if run is not None:
@@ -145,68 +213,22 @@ class SweepRunner:
         self.last_stats = stats
         return results  # type: ignore[return-value]  # every slot filled
 
-    # -- execution backends --------------------------------------------
+    # -- in-process execution seam -------------------------------------
 
     @staticmethod
     def _run_one(spec: JobSpec
                  ) -> Tuple[Optional[CombinedRun], Optional[str]]:
-        try:
-            return spec.run(), None
-        except Exception:
-            return None, traceback.format_exc()
-
-    def _run_parallel(self, queue: List[JobSpec], stats: SweepStats
-                      ) -> List[Tuple[Optional[CombinedRun], Optional[str]]]:
-        # a spawned/forkserver worker re-imports the registry from
-        # scratch, so only builtin workload names resolve there; jobs
-        # naming custom registrations must stay in this process
-        if multiprocessing.get_start_method() == "fork":
-            local = set()
-        else:
-            from repro.workloads.registry import is_builtin
-            local = {i for i, spec in enumerate(queue)
-                     if not is_builtin(spec.workload)}
-        remote = [spec for i, spec in enumerate(queue) if i not in local]
-        if len(remote) < 2:
-            stats.parallel = False
-            return [self._run_one(spec) for spec in queue]
-
-        payloads = [spec.to_dict() for spec in remote]
-        try:
-            raw = self._map_in_pool(payloads, min(self.workers,
-                                                  len(remote)))
-        except (OSError, NotImplementedError):
-            # restricted environments (no /dev/shm, no sem_open): pools
-            # are unusable here at all, so run serially in-process —
-            # per-job fault capture still applies
-            stats.parallel = False
-            return [self._run_one(spec) for spec in queue]
-        except Exception:
-            # the pool itself broke mid-map — a worker killed outright
-            # (OOM/SIGKILL) surfaces from the executor as
-            # BrokenProcessPool, never as a per-job exception
-            # (_execute_payload catches those).  One of the jobs is
-            # probably fatal, so do NOT pull the queue into this
-            # process: quarantine each job in its own single-worker
-            # pool instead, so a re-offending job takes down only its
-            # private worker and becomes that one JobResult's error
-            # while the rest of the sweep completes.
-            stats.parallel = False
-            return self._run_quarantined(queue, local)
-        remote_outcomes = iter(
-            (CombinedRun.from_dict(payload), None) if ok
-            else (None, payload["traceback"])
-            for ok, payload in raw)
-        return [self._run_one(spec) if i in local
-                else next(remote_outcomes)
-                for i, spec in enumerate(queue)]
+        return execute_spec(spec)
 
     # -- process-pool seams --------------------------------------------
     #
-    # ProcessPoolExecutor, not multiprocessing.Pool: a worker that dies
-    # abruptly (OOM/SIGKILL) makes the executor raise BrokenProcessPool,
-    # whereas Pool.map simply hangs forever waiting for the lost task's
-    # result — detectability is the whole point of the fallback chain.
+    # These stay on SweepRunner (rather than inside the pool backend)
+    # so tests and callers keep one stable interception point for "how
+    # does a payload reach a pool".  ProcessPoolExecutor, not
+    # multiprocessing.Pool: a worker that dies abruptly (OOM/SIGKILL)
+    # makes the executor raise BrokenProcessPool, whereas Pool.map
+    # simply hangs forever waiting for the lost task's result —
+    # detectability is the whole point of the fallback chain.
 
     @staticmethod
     def _mp_context():
@@ -220,38 +242,23 @@ class SweepRunner:
                      workers: int) -> List[Tuple[bool, dict]]:
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=self._mp_context()) as pool:
-            return list(pool.map(_execute_payload, payloads))
+            futures = [pool.submit(_execute_payload, payload)
+                       for payload in payloads]
+            done: List[Tuple[bool, dict]] = []
+            try:
+                for future in futures:
+                    done.append(future.result())
+            except KeyboardInterrupt:
+                # Ctrl-C: without this, the executor's __exit__ would
+                # happily run every queued job to completion first.
+                # Cancel what has not started (workers then exit after
+                # their current item) and surface the finished prefix.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise _MapInterrupted(done) from None
+            return done
 
     def _apply_in_pool(self, payload: dict) -> Tuple[bool, dict]:
         """One job in one disposable single-worker pool."""
         with ProcessPoolExecutor(max_workers=1,
                                  mp_context=self._mp_context()) as pool:
             return pool.submit(_execute_payload, payload).result()
-
-    def _run_quarantined(self, queue: List[JobSpec], local: set
-                         ) -> List[Tuple[Optional[CombinedRun],
-                                         Optional[str]]]:
-        """Recovery backend after a broken pool: one disposable
-        single-worker pool per remaining job."""
-        outcomes: List[Tuple[Optional[CombinedRun], Optional[str]]] = []
-        for i, spec in enumerate(queue):
-            if i in local:
-                outcomes.append(self._run_one(spec))
-                continue
-            try:
-                ok, payload = self._apply_in_pool(spec.to_dict())
-            except (OSError, NotImplementedError):
-                # pools just became unavailable (not a job death):
-                # in-process is the only option left
-                outcomes.append(self._run_one(spec))
-                continue
-            except Exception:
-                outcomes.append((None, (
-                    "worker process died while running this job "
-                    "(killed by the OS — out of memory?); the job was "
-                    "quarantined so the rest of the sweep could "
-                    f"complete\n{traceback.format_exc()}")))
-                continue
-            outcomes.append((CombinedRun.from_dict(payload), None) if ok
-                            else (None, payload["traceback"]))
-        return outcomes
