@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Standalone engine-throughput bench (wrapper over :mod:`repro.bench`).
+
+Equivalent to ``repro bench``; exists so the perf harness can be run
+straight from a checkout without installing the package::
+
+    python benchmarks/bench_engines.py --quick -o BENCH_5.json
+
+The measured numbers (instr/sec per engine per workload, min-of-N) are
+written as JSON; commit the refreshed ``BENCH_<n>.json`` whenever a PR
+moves a hot path, so the repository keeps a performance trajectory.
+Not a pytest module on purpose: wall-clock benching under the test
+runner measures the test runner.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -61,11 +61,13 @@ from repro.runner import JobResult, JobSpec, ResultStore, SweepRunner
 from repro.trace import (
     TraceRecorder,
     TraceWorkload,
+    load_trace,
     load_trace_workload,
     record_trace,
 )
 from repro.sim import CombinedRun, Simulator, attach_energy, run_all_schemes
 from repro.cpu import (
+    BatchEngine,
     EngineResult,
     FastEngine,
     OutOfOrderEngine,
@@ -88,6 +90,7 @@ __all__ = [
     "ALL_SCHEMES",
     "AssemblyError",
     "BENCHMARK_NAMES",
+    "BatchEngine",
     "BranchPredictorConfig",
     "CacheAddressing",
     "CacheConfig",
@@ -132,6 +135,7 @@ __all__ = [
     "generate",
     "itlb_sweep_label",
     "load_benchmark",
+    "load_trace",
     "load_trace_workload",
     "record_trace",
     "run_all_schemes",

@@ -1,0 +1,244 @@
+"""Engine performance harness (``repro bench`` /
+``benchmarks/bench_engines.py``).
+
+Measures replay throughput (instructions per second, min-of-N wall
+clock) for the two fast-engine evaluators over recorded traces, and
+writes a machine-readable ``BENCH_<n>.json`` so the repository carries a
+performance *trajectory*: every PR that touches a hot path can re-run
+the bench and compare against the committed numbers instead of
+asserting speedups in prose.
+
+Two views are measured per workload:
+
+``engine``
+    One plain-binary engine pass over an already-decoded trace —
+    :class:`~repro.cpu.fast.FastEngine` (``scalar``) vs
+    :class:`~repro.cpu.batch.BatchEngine` (``batch``).  Isolates the
+    hot-loop win; decode time is excluded for both.
+``job``
+    A full :func:`~repro.sim.multi.run_all_schemes` evaluation (both
+    binary passes, all schemes, energy attached) the way a sweep job
+    runs it.  The ``scalar`` row resolves the workload with a cold
+    decoded-trace cache before every run — the pre-batching per-job
+    cost, where each job re-gunzips and re-decodes the file — while the
+    ``batch`` row resolves through the warm per-process LRU.
+
+Timing uses ``time.perf_counter`` around engine execution only (trace
+recording and column decoding happen before the timed region, except in
+the cold-resolve ``job`` baseline, where re-decoding *is* the point).
+One scalar/batch result pair per workload is compared for bit-identity,
+so a bench run doubles as an equivalence check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.config import MachineConfig, default_config
+from repro.sim.multi import run_all_schemes
+from repro.trace.format import clear_trace_cache, load_trace
+from repro.trace.record import record_trace
+from repro.trace.replay import TraceWorkload
+from repro.workloads.registry import resolve
+
+#: bump when the JSON layout changes incompatibly
+BENCH_FORMAT = 1
+
+#: workloads benched by default (full mode); ``--quick`` keeps only mesa
+DEFAULT_WORKLOADS = ("177.mesa", "micro.straight_line",
+                     "micro.taken_pattern")
+
+#: the workload every floor check applies to must be present
+MESA = "177.mesa"
+
+
+@dataclass
+class BenchRecord:
+    """One (workload, evaluator, view) measurement."""
+
+    workload: str
+    engine: str  #: "scalar" | "batch"
+    mode: str  #: "engine" (one pass) | "job" (full run_all_schemes)
+    instructions: int  #: instructions retired per timed run
+    repeats: int
+    best_seconds: float
+    mean_seconds: float
+    instr_per_sec: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _time(fn: Callable[[], int], repeats: int) -> tuple:
+    """Run ``fn`` ``repeats`` times; returns (best, mean, instructions).
+
+    ``fn`` returns the number of instructions it retired; min-of-N wall
+    time filters scheduler noise (the canonical bench discipline)."""
+    times: List[float] = []
+    instructions = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        instructions = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), sum(times) / len(times), instructions
+
+
+def ensure_trace(workload: str, trace_dir: Union[str, Path], *,
+                 instructions: int, warmup: int,
+                 config: Optional[MachineConfig] = None,
+                 log: Callable[[str], None] = lambda _: None) -> Path:
+    """Record ``workload`` into ``trace_dir`` (once: recording is
+    deterministic, so an existing file is reused)."""
+    config = config or default_config()
+    trace_dir = Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    safe = workload.replace("/", "_").replace(":", "_")
+    path = trace_dir / f"{safe}.i{instructions}.w{warmup}.trace.gz"
+    if not path.exists():
+        log(f"recording {workload} ({instructions:,}+{warmup:,} "
+            f"instructions) -> {path}")
+        record_trace(workload, config, instructions=instructions,
+                     warmup=warmup, path=path)
+    return path
+
+
+def bench_workload(workload: str, trace_path: Union[str, Path], *,
+                   instructions: int, warmup: int, repeats: int,
+                   config: Optional[MachineConfig] = None,
+                   log: Callable[[str], None] = lambda _: None
+                   ) -> List[BenchRecord]:
+    """Bench one recorded trace; returns the four measurement records
+    (scalar/batch × engine/job).  Raises :class:`RuntimeError` if the
+    two evaluators ever disagree — a bench must never publish numbers
+    for diverging engines."""
+    from repro.cpu.batch import BatchEngine
+    from repro.cpu.fast import FastEngine
+
+    config = config or default_config()
+    trace_path = Path(trace_path)
+    trace_name = f"trace:{trace_path}"
+    records: List[BenchRecord] = []
+
+    # -- engine view: one plain-binary pass, decode excluded ------------
+    trace_workload = TraceWorkload(trace_path, load_trace(trace_path))
+    program = trace_workload.link(page_bytes=config.mem.page_bytes,
+                                  instrumented=False)
+    program.segment.columns()  # decode outside the timed region
+    results = {}
+
+    def run_engine(cls) -> Callable[[], int]:
+        def go() -> int:
+            engine = cls(
+                trace_workload.link(page_bytes=config.mem.page_bytes,
+                                    instrumented=False), config)
+            result = engine.run(instructions, warmup)
+            results[cls.__name__] = result
+            return result.shared.instructions + warmup
+        return go
+
+    for engine_name, cls in (("scalar", FastEngine), ("batch", BatchEngine)):
+        best, mean, retired = _time(run_engine(cls), repeats)
+        records.append(BenchRecord(
+            workload=workload, engine=engine_name, mode="engine",
+            instructions=retired, repeats=repeats, best_seconds=best,
+            mean_seconds=mean, instr_per_sec=retired / best))
+        log(f"{workload:24s} {engine_name:7s} engine "
+            f"{retired / best:>12,.0f} instr/s (best of {repeats}: "
+            f"{best:.3f}s)")
+    a = json.dumps(results["FastEngine"].to_dict(), sort_keys=True)
+    b = json.dumps(results["BatchEngine"].to_dict(), sort_keys=True)
+    if a != b:
+        raise RuntimeError(
+            f"bench aborted: scalar and batch engines diverged on "
+            f"{workload} — run the equivalence suite "
+            "(tests/test_batch_engine.py)")
+
+    # -- job view: full run_all_schemes, resolve included ---------------
+    def run_job(engine: str, cold: bool) -> Callable[[], int]:
+        def go() -> int:
+            if cold:
+                clear_trace_cache()  # pre-batching jobs re-decoded per run
+            run = run_all_schemes(resolve(trace_name), config,
+                                  instructions=instructions, warmup=warmup,
+                                  engine=engine)
+            return (run.plain.shared.instructions
+                    + run.instrumented.shared.instructions + 2 * warmup)
+        return go
+
+    for engine_name, engine, cold in (("scalar", "scalar", True),
+                                      ("batch", "fast", False)):
+        best, mean, retired = _time(run_job(engine, cold), repeats)
+        records.append(BenchRecord(
+            workload=workload, engine=engine_name, mode="job",
+            instructions=retired, repeats=repeats, best_seconds=best,
+            mean_seconds=mean, instr_per_sec=retired / best))
+        log(f"{workload:24s} {engine_name:7s} job    "
+            f"{retired / best:>12,.0f} instr/s (best of {repeats}: "
+            f"{best:.3f}s)")
+    return records
+
+
+def speedups(records: Sequence[BenchRecord]) -> Dict[str, Dict[str, float]]:
+    """Per-workload batch/scalar instr-per-sec ratios, per view."""
+    by_key: Dict[tuple, BenchRecord] = {
+        (r.workload, r.mode, r.engine): r for r in records}
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in {r.workload for r in records}:
+        entry = {}
+        for mode in ("engine", "job"):
+            scalar = by_key.get((workload, mode, "scalar"))
+            batch = by_key.get((workload, mode, "batch"))
+            if scalar and batch and scalar.instr_per_sec:
+                entry[mode] = batch.instr_per_sec / scalar.instr_per_sec
+        out[workload] = entry
+    return out
+
+
+def run_bench(*, workloads: Sequence[str] = DEFAULT_WORKLOADS,
+              instructions: int = 60_000, warmup: int = 10_000,
+              repeats: int = 5, trace_dir: Union[str, Path] = ".bench-traces",
+              config: Optional[MachineConfig] = None,
+              log: Callable[[str], None] = lambda _: None) -> dict:
+    """Record (once) and bench every workload; returns the JSON payload."""
+    config = config or default_config()
+    records: List[BenchRecord] = []
+    for workload in workloads:
+        path = ensure_trace(workload, trace_dir, instructions=instructions,
+                            warmup=warmup, config=config, log=log)
+        records.extend(bench_workload(
+            workload, path, instructions=instructions, warmup=warmup,
+            repeats=repeats, config=config, log=log))
+    return {
+        "bench_format": BENCH_FORMAT,
+        "window": {"instructions": instructions, "warmup": warmup},
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "results": [r.to_dict() for r in records],
+        "speedups": speedups(records),
+    }
+
+
+def check_floor(payload: dict, floor: float,
+                workloads: Optional[Sequence[str]] = None) -> List[str]:
+    """Failures (empty = pass): workloads whose engine-view speedup is
+    below ``floor``.  ``workloads=None`` checks every benched one."""
+    failures = []
+    for workload, entry in sorted(payload.get("speedups", {}).items()):
+        if workloads is not None and workload not in workloads:
+            continue
+        ratio = entry.get("engine")
+        if ratio is None:
+            failures.append(f"{workload}: no engine-view measurement")
+        elif ratio < floor:
+            failures.append(
+                f"{workload}: batch engine is {ratio:.2f}x the scalar "
+                f"engine (floor {floor:.2f}x)")
+    return failures

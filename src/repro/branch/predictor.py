@@ -24,7 +24,7 @@ from typing import Dict, Optional
 
 from repro.config import BranchPredictorConfig
 from repro.errors import ConfigError
-from repro.isa.instructions import Instruction, InstrKind
+from repro.isa.instructions import Instruction
 from repro.isa.registers import REG_RA
 from repro.branch.bimodal import BimodalPredictor
 from repro.branch.btb import BTB
@@ -32,9 +32,10 @@ from repro.branch.gshare import GsharePredictor
 from repro.branch.ras import ReturnAddressStack
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
-    """What the front end believed when the branch was fetched."""
+    """What the front end believed when the branch was fetched.
+    Slotted: one is allocated per executed control instruction."""
 
     predicted_taken: bool
     predicted_target: Optional[int]  #: None when not predicted taken
@@ -42,10 +43,11 @@ class Prediction:
     from_ras: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchOutcome:
     """A resolved branch: prediction vs. architectural truth.  This is the
-    record the IA scheme consumes (paper Figure 3)."""
+    record the IA scheme consumes (paper Figure 3).  Slotted: one is
+    allocated per executed control instruction."""
 
     pc: int
     instr: Instruction
@@ -128,8 +130,8 @@ class FrontEndPredictor:
 
     def predict(self, pc: int, instr: Instruction) -> Prediction:
         """Predict the branch at ``pc`` without training anything."""
-        kind = instr.op.kind
-        if kind is InstrKind.COND_BRANCH:
+        kind = instr.kind_code  # int dispatch: this runs per branch
+        if kind == 8:  # COND_BRANCH
             if self.direction is None:
                 direction = self._static_taken
             else:
@@ -138,13 +140,13 @@ class FrontEndPredictor:
             if direction and target is not None:
                 return Prediction(True, target, btb_hit=True)
             return Prediction(False, None, btb_hit=target is not None)
-        if kind in (InstrKind.JUMP, InstrKind.CALL):
+        if kind == 9 or kind == 10:  # JUMP / CALL
             target = self.btb.lookup(pc)
             if target is not None:
                 return Prediction(True, target, btb_hit=True)
             return Prediction(False, None, btb_hit=False)
         # indirect
-        if (self.ras is not None and kind is InstrKind.INDIRECT_JUMP
+        if (self.ras is not None and kind == 11  # INDIRECT_JUMP
                 and instr.rs == REG_RA):
             ras_target = self.ras.peek()
             if ras_target is not None:
@@ -160,30 +162,31 @@ class FrontEndPredictor:
     def train(self, pc: int, instr: Instruction, prediction: Prediction,
               taken: bool, next_pc: int) -> BranchOutcome:
         """Resolve the branch: update tables, return the outcome record."""
-        kind = instr.op.kind
+        kind = instr.kind_code  # int dispatch: this runs per branch
+        stats = self.stats
         mispredicted = prediction.predicted_taken != taken or (
             taken and prediction.predicted_target is not None
             and prediction.predicted_target != next_pc
         )
-        self.stats.branches += 1
+        stats.branches += 1
         if mispredicted:
-            self.stats.mispredicts += 1
-        if kind is InstrKind.COND_BRANCH:
-            self.stats.conditional += 1
+            stats.mispredicts += 1
+        if kind == 8:  # COND_BRANCH
+            stats.conditional += 1
             if mispredicted:
-                self.stats.conditional_mispredicts += 1
+                stats.conditional_mispredicts += 1
             if self.direction is not None:
                 self.direction.update(pc, taken)
-        elif kind in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
-            self.stats.indirect += 1
+        elif kind == 11 or kind == 12:  # INDIRECT_JUMP / INDIRECT_CALL
+            stats.indirect += 1
             if mispredicted:
-                self.stats.indirect_mispredicts += 1
+                stats.indirect_mispredicts += 1
         if taken:
             self.btb.update(pc, next_pc)
         if self.ras is not None:
-            if kind in (InstrKind.CALL, InstrKind.INDIRECT_CALL):
+            if kind == 10 or kind == 12:  # CALL / INDIRECT_CALL
                 self.ras.push(pc + 4)
-            elif kind is InstrKind.INDIRECT_JUMP and instr.rs == REG_RA:
+            elif kind == 11 and instr.rs == REG_RA:
                 self.ras.pop()
         return BranchOutcome(pc=pc, instr=instr, prediction=prediction,
                              taken=taken, next_pc=next_pc,

@@ -17,6 +17,9 @@ Subcommands:
   print a file's ``info``
 * ``cache``        — ``list`` / ``stats`` / ``purge`` a result-store
   cache directory (``purge --keep-bytes N`` size-bounds it, LRU)
+* ``bench``        — measure replay throughput (instr/sec, min-of-N)
+  for the scalar vs batched engine and write ``BENCH_<n>.json`` (the
+  repository's performance trajectory; see ``docs/performance.md``)
 * ``calibrate``    — print the workload-calibration report
 * ``config``       — print the default (Table 1) machine
 * ``simulate``     — one workload, all schemes, summary output
@@ -166,7 +169,8 @@ def _run_sweep(args: argparse.Namespace,
         for config in configs:
             specs.append(JobSpec(workload=name, config=config,
                                  instructions=args.instructions,
-                                 warmup=args.warmup, schemes=schemes))
+                                 warmup=args.warmup, schemes=schemes,
+                                 engine=args.engine))
 
     try:
         backend = resolve_backend(args.backend)
@@ -327,6 +331,49 @@ def _run_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from repro.bench import DEFAULT_WORKLOADS, MESA, check_floor, run_bench
+
+    workloads = args.workloads
+    if workloads is None:
+        workloads = [MESA] if args.quick else list(DEFAULT_WORKLOADS)
+    if not workloads:
+        # an empty list (e.g. an unset shell variable expanding to
+        # nothing) must not produce a vacuously-passing floor check
+        parser.error("--workloads needs at least one workload name")
+    _check_workloads(workloads, parser)
+    instructions = (args.instructions if args.instructions is not None
+                    else (30_000 if args.quick else 60_000))
+    warmup = args.warmup if args.warmup is not None else (
+        5_000 if args.quick else 10_000)
+    repeats = args.repeats if args.repeats is not None else (
+        3 if args.quick else 5)
+    if repeats <= 0 or instructions <= 0 or warmup < 0:
+        parser.error("--repeats/--instructions must be > 0, --warmup >= 0")
+
+    payload = run_bench(workloads=workloads, instructions=instructions,
+                        warmup=warmup, repeats=repeats,
+                        trace_dir=args.trace_dir, log=print)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(to_json(payload) + "\n")
+    print(f"\nwrote {args.output}")
+    for workload, entry in sorted(payload["speedups"].items()):
+        views = "  ".join(f"{mode} {ratio:.2f}x"
+                          for mode, ratio in sorted(entry.items()))
+        print(f"  {workload:24s} batch/scalar: {views}")
+
+    if args.fail_below is not None:
+        failures = check_floor(payload, args.fail_below)
+        if failures:
+            for failure in failures:
+                print(f"FLOOR FAILED {failure}", file=sys.stderr)
+            return 1
+        print(f"floor check passed (>= {args.fail_below:.2f}x "
+              "on every workload)")
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     import os
     if not os.path.isdir(args.cache_dir):
@@ -419,6 +466,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="scheme subset (default: all)")
     p_sweep.add_argument("--il1", default="vi-pt",
                          choices=[a.value for a in CacheAddressing])
+    p_sweep.add_argument("--engine", default="fast",
+                         choices=["fast", "scalar", "batch"],
+                         help="evaluator: 'fast' auto-selects the "
+                              "batched engine for trace replays "
+                              "(bit-identical); 'scalar'/'batch' force "
+                              "one (forced runs cache under their own "
+                              "keys)")
     p_sweep.add_argument("--instructions", type=int, default=120_000)
     p_sweep.add_argument("--warmup", type=int, default=20_000)
     p_sweep.add_argument("--workers", type=int, default=1,
@@ -555,7 +609,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "import:<format>:<path>)")
     p_sim.add_argument("--il1", default="vi-pt",
                        choices=[a.value for a in CacheAddressing])
+    p_sim.add_argument("--engine", default="fast",
+                       choices=["fast", "scalar", "batch"],
+                       help="evaluator ('fast' auto-selects the batched "
+                            "engine for trace replays)")
     _add_sim_args(p_sim)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure scalar vs batched replay throughput and write "
+             "BENCH_<n>.json (see docs/performance.md)")
+    p_bench.add_argument("-o", "--output", default="BENCH_5.json",
+                         help="JSON report to write "
+                              "(default: BENCH_5.json)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="mesa only, smaller window, fewer repeats "
+                              "(the CI smoke configuration)")
+    p_bench.add_argument("--workloads", nargs="*", default=None,
+                         metavar="WORKLOAD",
+                         help="registry workloads to record and bench "
+                              "(default: 177.mesa, micro.straight_line, "
+                              "micro.taken_pattern)")
+    p_bench.add_argument("--instructions", type=int, default=None,
+                         help="measured window per pass (default: "
+                              "60,000; 30,000 with --quick)")
+    p_bench.add_argument("--warmup", type=int, default=None,
+                         help="warmup per pass (default: 10,000; 5,000 "
+                              "with --quick)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed runs per measurement, best kept "
+                              "(default: 5; 3 with --quick)")
+    p_bench.add_argument("--trace-dir", default=".bench-traces",
+                         help="where bench traces are recorded/reused "
+                              "(default: .bench-traces)")
+    p_bench.add_argument("--fail-below", type=float, default=None,
+                         metavar="RATIO",
+                         help="exit 1 if the batch engine's instr/sec "
+                              "is below RATIO x the scalar engine's on "
+                              "any benched workload (CI guards 0.9)")
 
     args = parser.parse_args(argv)
 
@@ -602,6 +693,8 @@ def _dispatch(args: argparse.Namespace,
         return _run_worker(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "bench":
+        return _run_bench(args, parser)
     if args.command == "calibrate":
         print(calibration_report(instructions=args.instructions,
                                  warmup=args.warmup))
@@ -615,7 +708,8 @@ def _dispatch(args: argparse.Namespace,
         settings = _settings(args)
         run = run_all_schemes(registry.resolve(args.benchmark), config,
                               instructions=settings.instructions,
-                              warmup=settings.warmup)
+                              warmup=settings.warmup,
+                              engine=args.engine)
         print(summarize_result(run.plain))
         print()
         print(summarize_result(run.instrumented))

@@ -92,6 +92,9 @@ class ITLBPolicy:
         self.defer = defer
         self.itlb = build_itlb(config.itlb, config.itlb_two_level,
                                name=f"itlb[{self.name.value}]")
+        #: resolved once: the engines perform tens of thousands of
+        #: lookups per run, and the isinstance test was on that path
+        self._two_level = isinstance(self.itlb, TwoLevelTLB)
         self.miss_penalty = config.itlb.miss_penalty
         self.cfr = CFR()
         self.counters = SchemeCounters()
@@ -122,7 +125,7 @@ class ITLBPolicy:
             counters.branch_lookups += 1
         extra = 0
         itlb = self.itlb
-        if isinstance(itlb, TwoLevelTLB):
+        if self._two_level:
             pfn, hit = itlb.translate(vpn, self.page_table)
             counters.l2_probes += itlb.last_probes[1]
             extra += itlb.last_extra_latency
@@ -246,7 +249,9 @@ class OptPolicy(ITLBPolicy):
     name = SchemeName.OPT
 
     def wants_lookup(self, vpn: int) -> bool:
-        return not self.cfr.matches(vpn)
+        # cfr.matches(vpn), inlined: this runs per fetch-point decision
+        cfr = self.cfr
+        return not (cfr.valid and cfr.vpn == vpn)
 
     def fetch_reason(self, seq_boundary: bool) -> LookupReason:
         return (LookupReason.BOUNDARY if seq_boundary
@@ -303,7 +308,12 @@ class SoLAPolicy(SoCAPolicy):
     def on_predict(self, instr, prediction) -> None:
         if instr.inpage_hint:
             return
-        super().on_predict(instr, prediction)
+        # SoCA's trigger, inlined (this runs per executed control
+        # instruction; the super() dispatch was measurable)
+        self.covered = False
+        self.pending_reason = (LookupReason.BOUNDARY
+                               if instr.is_boundary_branch
+                               else LookupReason.BRANCH)
 
 
 class IAPolicy(ITLBPolicy):

@@ -104,16 +104,19 @@ class FastEngine:
         self._mispredict_penalty = config.branch.mispredict_penalty
         self._ready_int = [0] * 32
         self._ready_fp = [0.0] * 32
-        self._fu_free: Dict[int, List[int]] = {
-            0: [0] * core.int_alus,        # INT_ALU
-            1: [0] * core.int_mult_div,    # INT_MULT
-            2: [0] * core.int_mult_div,    # INT_DIV (shares mult/div unit)
-            3: [0] * core.fp_alus,         # FP_ALU
-            4: [0] * core.fp_mult_div,     # FP_MULT
-            5: [0] * core.fp_mult_div,     # FP_DIV
-            6: [0, 0],                     # LOAD (2 cache ports)
-            7: [0, 0],                     # STORE
-        }
+        # functional-unit pools, indexed by kind_code (None = no structural
+        # limit for that kind).  A flat list beats the previous dict: the
+        # timing loop consults it once per retired instruction, and list
+        # indexing skips the hash.
+        self._fu_pools: List[Optional[List[int]]] = [None] * 15
+        self._fu_pools[0] = [0] * core.int_alus        # INT_ALU
+        self._fu_pools[1] = [0] * core.int_mult_div    # INT_MULT
+        self._fu_pools[2] = [0] * core.int_mult_div    # INT_DIV (shares unit)
+        self._fu_pools[3] = [0] * core.fp_alus         # FP_ALU
+        self._fu_pools[4] = [0] * core.fp_mult_div     # FP_MULT
+        self._fu_pools[5] = [0] * core.fp_mult_div     # FP_DIV
+        self._fu_pools[6] = [0, 0]                     # LOAD (2 cache ports)
+        self._fu_pools[7] = [0, 0]                     # STORE
         self._ring_size = core.ruu_size
         self._commit_ring = [0] * self._ring_size
         self._ring_pos = 0
@@ -327,7 +330,7 @@ class FastEngine:
             self._prev_outcome = outcome
 
             # ---- timing ----
-            self._account_timing(step, fetch_stall, mem_stall, outcome)
+            self._account_timing(pc, instr, fetch_stall, mem_stall, outcome)
 
     # -- data-side helper ------------------------------------------------------
 
@@ -365,11 +368,10 @@ class FastEngine:
 
     # -- timing model ------------------------------------------------------------
 
-    def _account_timing(self, step, fetch_stall: int, mem_stall: int,
-                        outcome) -> None:
-        instr = step.instr
+    def _account_timing(self, pc: int, instr, fetch_stall: int,
+                        mem_stall: int, outcome) -> None:
         # -- front end: group formation --
-        fetch_block = step.pc >> self._block_shift
+        fetch_block = pc >> self._block_shift
         if (self._redirect or self._group_remaining == 0
                 or fetch_block != self._group_block):
             self._fetch_clock += 1
@@ -395,10 +397,12 @@ class FastEngine:
         issue_t = fetch_t + _FRONT_DEPTH
         op = instr.op
         kind = instr.kind_code
+        # ready_int[0] is invariantly 0 (every int-file write is guarded
+        # by ``if rd:``), so r0 sources read the array directly
         if kind in (3, 4, 5):  # FP ops read the FP file (CVTIF reads int)
             ready_fp = self._ready_fp
             if op is Opcode.CVTIF:
-                src1 = ready_int[instr.rs] if instr.rs else 0
+                src1 = ready_int[instr.rs]
             else:
                 src1 = ready_fp[instr.rs]
             src2 = ready_fp[instr.rt]
@@ -407,8 +411,8 @@ class FastEngine:
             if src2 > issue_t:
                 issue_t = src2
         else:
-            src1 = ready_int[instr.rs] if instr.rs else 0
-            src2 = ready_int[instr.rt] if instr.rt else 0
+            src1 = ready_int[instr.rs]
+            src2 = ready_int[instr.rt]
             if src1 > issue_t:
                 issue_t = src1
             if src2 > issue_t:
@@ -419,19 +423,16 @@ class FastEngine:
                 if src3 > issue_t:
                     issue_t = src3
 
-        fu_pool = self._fu_free.get(kind)
+        fu_pool = self._fu_pools[kind]
         if fu_pool is not None:
-            best = 0
-            best_t = fu_pool[0]
-            for i in range(1, len(fu_pool)):
-                if fu_pool[i] < best_t:
-                    best_t = fu_pool[i]
-                    best = i
+            # first unit to free up (ties to the lowest index, exactly as
+            # the explicit scan did; min/index run at C speed)
+            best_t = min(fu_pool)
             if best_t > issue_t:
                 issue_t = best_t
-            fu_pool[best] = issue_t + 1
+            fu_pool[fu_pool.index(best_t)] = issue_t + 1
 
-        latency = op.latency
+        latency = instr.latency  # precomputed op.latency
         if kind == 6:  # load: memory latency beyond the 1-cycle hit
             latency += mem_stall
         elif kind == 7:

@@ -132,7 +132,7 @@ class Opcode(Enum):
         return self.kind in UNCONDITIONAL_KINDS
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """One decoded instruction.
 
@@ -141,6 +141,11 @@ class Instruction:
     non-control instructions.  ``inpage_hint`` and ``is_boundary_branch``
     are written by the compiler passes; both default to ``False`` in
     uninstrumented binaries.
+
+    The class is slotted: workloads materialize hundreds of thousands of
+    instances, and the engines read their fields on every retired
+    instruction, so the per-instance ``__dict__`` was both memory and
+    lookup overhead.
     """
 
     op: Opcode
@@ -158,9 +163,13 @@ class Instruction:
     #: precomputed ``int(op.kind)`` — the executors dispatch on a plain int
     #: instead of an enum attribute chain in their hot loops
     kind_code: int = field(init=False, default=-1)
+    #: precomputed ``op.latency`` — the timing models charge it per retired
+    #: instruction, and the enum attribute chain was measurable there
+    latency: int = field(init=False, default=1)
 
     def __post_init__(self) -> None:
         self.kind_code = int(self.op.kind)
+        self.latency = self.op.latency
 
     # -- classification shortcuts (hot paths read these a lot) ----------
 

@@ -52,14 +52,21 @@ class CacheStats:
         return cls(**data)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one cache access."""
+    """Outcome of one cache access.  Slotted, and treated as immutable:
+    the hit and clean-miss cases are served from shared module-level
+    instances so the engines' hot paths allocate nothing."""
 
     hit: bool
     #: physical block address (block-aligned byte address) of a dirty victim
     #: that must be written back, or None
     writeback_pa: Optional[int] = None
+
+
+#: shared results for the two allocation-free outcomes (callers only read)
+_HIT_RESULT = AccessResult(hit=True)
+_CLEAN_MISS_RESULT = AccessResult(hit=False)
 
 
 class _Line:
@@ -111,28 +118,32 @@ class Cache:
         defaults to the tag address's block (correct whenever the tag is
         physical; VI-VT callers must pass the real physical block).
         """
-        self.stats.accesses += 1
-        entry_set = self._sets[self.set_index(index_addr)]
-        tag = self.tag_of(tag_addr)
+        stats = self.stats
+        stats.accesses += 1
+        shift = self.block_shift
+        entry_set = self._sets[(index_addr >> shift) & self._set_mask]
+        tag = tag_addr >> shift
         line = entry_set.get(tag)
         if line is not None:
-            self.stats.hits += 1
+            stats.hits += 1
             entry_set.move_to_end(tag)
             if write:
                 line.dirty = True
-            return AccessResult(hit=True)
+            return _HIT_RESULT
 
-        self.stats.misses += 1
+        stats.misses += 1
         writeback_pa: Optional[int] = None
         if len(entry_set) >= self.ways:
             _, victim = entry_set.popitem(last=False)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
                 writeback_pa = victim.pa_block
         if pa_block is None:
-            pa_block = (tag_addr >> self.block_shift) << self.block_shift
+            pa_block = (tag_addr >> shift) << shift
         entry_set[tag] = _Line(pa_block, dirty=write)
+        if writeback_pa is None:
+            return _CLEAN_MISS_RESULT
         return AccessResult(hit=False, writeback_pa=writeback_pa)
 
     # -- maintenance --------------------------------------------------------

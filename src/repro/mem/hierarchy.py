@@ -27,19 +27,21 @@ from repro.mem.cache import Cache
 from repro.mem.dram import DRAM
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchOutcome:
     """Result of one instruction-fetch memory access (translation-free
-    part: the engines add iTLB stalls on top, per scheme)."""
+    part: the engines add iTLB stalls on top, per scheme).  Slotted:
+    allocated once per block-leading fetch."""
 
     il1_hit: bool
     l2_hit: bool  #: meaningful only when il1_hit is False
     latency: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DataOutcome:
-    """Result of one data access."""
+    """Result of one data access.  Slotted: allocated once per
+    block-leading data access."""
 
     dl1_hit: bool
     l2_hit: bool
@@ -56,18 +58,30 @@ class MemoryHierarchy:
         self.l2 = Cache(config.l2)
         self.dram = DRAM(config.dram_latency, config.dram_banks)
         self.il1_addressing = config.il1_addressing
+        # precomputed per-discipline address routing (addressing_pair,
+        # resolved once) and shared hit outcomes: instruction fetch and
+        # data hits are the hot path, and both engines only *read* the
+        # returned records
+        self._il1_index_virtual = config.il1_addressing in (
+            CacheAddressing.VIVT, CacheAddressing.VIPT)
+        self._il1_tag_virtual = (config.il1_addressing
+                                 is CacheAddressing.VIVT)
+        self._il1_hit = FetchOutcome(il1_hit=True, l2_hit=True,
+                                     latency=config.il1.hit_latency)
+        self._dl1_hit = DataOutcome(dl1_hit=True, l2_hit=True,
+                                    latency=config.dl1.hit_latency)
 
     # -- instruction side -----------------------------------------------------
 
     def fetch(self, va: int, pa: int) -> FetchOutcome:
         """One instruction fetch at virtual address ``va`` whose physical
         address is ``pa``."""
-        index_addr, tag_addr = addressing_pair(self.il1_addressing, va, pa)
+        index_addr = va if self._il1_index_virtual else pa
+        tag_addr = va if self._il1_tag_virtual else pa
         block = (pa >> self.il1.block_shift) << self.il1.block_shift
         result = self.il1.access(index_addr, tag_addr, pa_block=block)
         if result.hit:
-            return FetchOutcome(il1_hit=True, l2_hit=True,
-                                latency=self.config.il1.hit_latency)
+            return self._il1_hit
         latency = self.config.il1.hit_latency
         l2_result = self.l2.access(pa, pa)
         if l2_result.hit:
@@ -92,8 +106,7 @@ class MemoryHierarchy:
         block = (pa >> self.dl1.block_shift) << self.dl1.block_shift
         result = self.dl1.access(va, pa, write=write, pa_block=block)
         if result.hit:
-            return DataOutcome(dl1_hit=True, l2_hit=True,
-                               latency=self.config.dl1.hit_latency)
+            return self._dl1_hit
         latency = self.config.dl1.hit_latency
         l2_result = self.l2.access(pa, pa)
         if result.writeback_pa is not None:

@@ -49,6 +49,12 @@ class JobSpec:
     warmup: int = 0
     #: None means every scheme (the :func:`run_all_schemes` default)
     schemes: Optional[Tuple[SchemeName, ...]] = None
+    #: evaluator name (see :data:`repro.sim.simulator.ENGINE_NAMES`).
+    #: ``"fast"`` auto-selects the batched evaluator for ``trace:`` /
+    #: ``import:`` workloads — results (and therefore cached entries)
+    #: are bit-identical, so existing ``"fast"`` cache keys stay valid.
+    #: ``"scalar"``/``"batch"`` force one evaluator (they hash into
+    #: :attr:`key`, so forced runs cache separately).
     engine: str = "fast"
     #: content identity of file-backed workloads.  ``trace:<path>`` and
     #: ``import:<format>:<path>`` names resolve to whatever bytes the

@@ -138,6 +138,12 @@ def run_all_schemes(
     :class:`~repro.trace.replay.TraceWorkload`.  A
     :class:`~repro.trace.record.TraceRecorder` passed as ``recorder``
     captures one trace segment per binary pass.
+
+    ``engine`` is passed through to
+    :meth:`~repro.sim.simulator.Simulator.run_program`; with the default
+    ``"fast"``, trace replays are evaluated by the batched engine
+    (bit-identical, several times faster) and live workloads by the
+    scalar fast engine.
     """
     selected = tuple(schemes) if schemes is not None else tuple(SchemeName)
     plain_set = tuple(s for s in selected if not s.needs_instrumented_binary)

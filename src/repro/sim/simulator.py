@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.config import MachineConfig, SchemeName, default_config
+from repro.cpu.batch import BatchEngine
 from repro.cpu.fast import FastEngine
 from repro.cpu.ooo import OutOfOrderEngine
 from repro.cpu.results import EngineResult
@@ -22,6 +23,10 @@ from repro.energy.accounting import itlb_energy_nj
 from repro.energy.cacti import CactiLikeModel
 from repro.errors import ConfigError
 from repro.isa.program import Program
+
+#: engine names accepted by :meth:`Simulator.run_program` (and therefore
+#: by :func:`~repro.sim.multi.run_all_schemes`, JobSpecs, and the CLI)
+ENGINE_NAMES = ("fast", "batch", "scalar", "ooo")
 
 
 def attach_energy(result: EngineResult,
@@ -69,26 +74,50 @@ class Simulator:
                     engine: str = "fast", recorder=None) -> EngineResult:
         """Simulate ``program`` and return a result with energy attached.
 
-        ``engine="fast"`` evaluates all requested schemes in one pass;
-        ``engine="ooo"`` runs the detailed core and requires exactly one
-        scheme.  A :class:`~repro.trace.record.TraceRecorder` passed as
-        ``recorder`` captures the committed instruction stream of the run
-        into a trace file (fast engine only: the detailed core's
-        wrong-path fetches are not part of the committed stream).
+        ``engine`` selects the evaluator (see :data:`ENGINE_NAMES`):
+
+        * ``"fast"`` — evaluate all requested schemes in one pass; when
+          ``program`` is a trace replay (it carries a decoded segment)
+          and no recorder is attached, the batched evaluator
+          (:class:`~repro.cpu.batch.BatchEngine`) is selected
+          automatically.  Results are bit-identical either way.
+        * ``"batch"`` — force the batched evaluator (a
+          :class:`~repro.errors.ConfigError` for live programs, which
+          have no decoded stream to batch over).
+        * ``"scalar"`` — force the classic per-instruction
+          :class:`~repro.cpu.fast.FastEngine` loop even for replays
+          (the bench harness's baseline).
+        * ``"ooo"`` — the detailed core; exactly one scheme per pass.
+
+        A :class:`~repro.trace.record.TraceRecorder` passed as
+        ``recorder`` captures the committed instruction stream of the
+        run into a trace file (scalar fast engine only: the detailed
+        core's wrong-path fetches are not part of the committed stream,
+        and the batch engine never materializes StepResults to tee).
         """
         if program.page_bytes != self.config.mem.page_bytes:
             raise ConfigError(
                 f"program linked for {program.page_bytes}-byte pages but "
                 f"machine uses {self.config.mem.page_bytes}-byte pages"
             )
-        if recorder is not None and engine != "fast":
+        if recorder is not None and engine not in ("fast", "scalar"):
             raise ConfigError(
-                "trace recording requires the fast engine (the detailed "
-                "core executes speculative wrong-path work that is not "
-                "part of the committed stream)")
-        if engine == "fast":
-            result = FastEngine(program, self.config, schemes=schemes,
-                                recorder=recorder).run(instructions, warmup)
+                "trace recording requires the (scalar) fast engine: the "
+                "detailed core executes speculative wrong-path work that "
+                "is not part of the committed stream, and the batch "
+                "engine produces no StepResult stream to record")
+        if engine in ("fast", "batch", "scalar"):
+            replayable = getattr(program, "segment", None) is not None
+            if engine == "batch" and not replayable:
+                raise ConfigError(
+                    f"engine 'batch' replays decoded traces; workload "
+                    f"'{program.name}' is a live program — use 'fast'")
+            use_batch = (engine == "batch"
+                         or (engine == "fast" and replayable
+                             and recorder is None))
+            cls = BatchEngine if use_batch else FastEngine
+            result = cls(program, self.config, schemes=schemes,
+                         recorder=recorder).run(instructions, warmup)
         elif engine == "ooo":
             selected = tuple(schemes) if schemes else (SchemeName.IA,)
             if len(selected) != 1:

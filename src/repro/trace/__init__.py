@@ -23,11 +23,14 @@ names).  The ``repro trace`` CLI (``record`` / ``info`` / ``import`` /
 
 from repro.trace.format import (
     TRACE_VERSION,
+    SegmentColumns,
     TraceFile,
     TraceReader,
     TraceSegment,
     TraceWriter,
+    clear_trace_cache,
     file_digest,
+    load_trace,
 )
 from repro.trace.importers import (
     ImportedTraceWorkload,
@@ -45,6 +48,7 @@ from repro.trace.replay import (
 
 __all__ = [
     "TRACE_VERSION",
+    "SegmentColumns",
     "TraceFile",
     "TraceReader",
     "TraceRecorder",
@@ -55,8 +59,10 @@ __all__ = [
     "ImportedTraceWorkload",
     "ReplayProgram",
     "available_formats",
+    "clear_trace_cache",
     "file_digest",
     "import_trace",
+    "load_trace",
     "load_imported_workload",
     "load_trace_workload",
     "record_trace",

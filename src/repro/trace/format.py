@@ -54,6 +54,8 @@ import json
 import os
 import struct
 import zlib
+from array import array
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -262,6 +264,151 @@ class TraceWriter:
 # ---------------------------------------------------------------------------
 
 
+#: kind codes whose steps carry no event the engines must react to — no
+#: control transfer, no memory access, no halt.  Maximal runs of these
+#: are what the batch engine retires in bulk.
+PLAIN_KINDS = frozenset({0, 1, 2, 3, 4, 5, 13})
+
+#: :attr:`SegmentColumns.flags` bits (per step)
+COL_FLAG_BOUNDARY = 0x01  #: compiler-inserted page-boundary branch
+COL_FLAG_INPAGE = 0x02    #: SoLA in-page hint
+COL_FLAG_CVTIF = 0x04     #: Opcode.CVTIF (FP op reading the int file)
+COL_FLAG_CVTFI = 0x08     #: Opcode.CVTFI (FP op writing the int file)
+COL_FLAG_FLW = 0x10       #: Opcode.FLW (load filling the FP file)
+COL_FLAG_FSW = 0x20       #: Opcode.FSW (store reading the FP file)
+
+
+class SegmentColumns:
+    """Decode-once flat-array view of one segment's dynamic stream.
+
+    Parallel ``array('q')`` columns, one slot per step record, in stream
+    order — everything the batched replay engine consumes without
+    touching :class:`~repro.isa.instructions.Instruction` objects or
+    allocating :class:`~repro.cpu.functional.StepResult`\\ s:
+
+    ``pc``        byte address of the step's instruction
+    ``next_pc``   resolved successor (taken target, fall-through, or the
+                  recorded indirect destination; the pc itself for HALT)
+    ``kind``      :class:`~repro.isa.instructions.InstrKind` as an int
+    ``aux``       the step's recorded payload: taken flag (conditional
+                  branches), next pc (indirect control), memory address
+                  (loads/stores), else ``-1``
+    ``rs/rt/rd``  register operand indices
+    ``latency``   the opcode's execute latency
+    ``flags``     :data:`COL_FLAG_BOUNDARY` / :data:`COL_FLAG_INPAGE` /
+                  :data:`COL_FLAG_CVTIF` / :data:`COL_FLAG_CVTFI` /
+                  :data:`COL_FLAG_FLW` / :data:`COL_FLAG_FSW`
+    ``index``     the step's static-table index (recovers the
+                  ``Instruction`` object on the slow, per-event path)
+    ``run``       length of the maximal run of *plain* steps (kind in
+                  :data:`PLAIN_KINDS`) starting at this slot — the
+                  batch engine's run-length fast path consumes this many
+                  steps without per-step event checks
+
+    Columns are immutable once built and safe to share across engines
+    (and, via the trace LRU, across jobs in one process).
+    """
+
+    __slots__ = ("pc", "next_pc", "kind", "aux", "rs", "rt", "rd",
+                 "latency", "flags", "index", "run", "steps")
+
+    def __init__(self, segment: "TraceSegment") -> None:
+        instrs = segment.instructions
+        # per-static lookup tables (one pass over the interned table)
+        s_pc: List[int] = []
+        s_kind: List[int] = []
+        s_rs: List[int] = []
+        s_rt: List[int] = []
+        s_rd: List[int] = []
+        s_lat: List[int] = []
+        s_flags: List[int] = []
+        s_target: List[int] = []
+        for instr in instrs:
+            s_pc.append(instr.address)
+            s_kind.append(instr.kind_code)
+            s_rs.append(instr.rs)
+            s_rt.append(instr.rt)
+            s_rd.append(instr.rd)
+            s_lat.append(instr.latency)
+            flag = 0
+            if instr.is_boundary_branch:
+                flag |= COL_FLAG_BOUNDARY
+            if instr.inpage_hint:
+                flag |= COL_FLAG_INPAGE
+            op = instr.op
+            if op is Opcode.CVTIF:
+                flag |= COL_FLAG_CVTIF
+            elif op is Opcode.CVTFI:
+                flag |= COL_FLAG_CVTFI
+            elif op is Opcode.FLW:
+                flag |= COL_FLAG_FLW
+            elif op is Opcode.FSW:
+                flag |= COL_FLAG_FSW
+            s_flags.append(flag)
+            s_target.append(-1 if instr.target is None else instr.target)
+
+        records = segment.records
+        n = len(records)
+        self.steps = n
+        pc = array("q", bytes(8 * n))
+        next_pc = array("q", bytes(8 * n))
+        kind = array("q", bytes(8 * n))
+        aux_col = array("q", bytes(8 * n))
+        rs = array("q", bytes(8 * n))
+        rt = array("q", bytes(8 * n))
+        rd = array("q", bytes(8 * n))
+        latency = array("q", bytes(8 * n))
+        flags = array("q", bytes(8 * n))
+        index = array("q", bytes(8 * n))
+        run = array("q", bytes(8 * n))
+        for i, (idx, aux) in enumerate(records):
+            a = s_pc[idx]
+            k = s_kind[idx]
+            pc[i] = a
+            kind[i] = k
+            aux_col[i] = aux
+            rs[i] = s_rs[idx]
+            rt[i] = s_rt[idx]
+            rd[i] = s_rd[idx]
+            latency[i] = s_lat[idx]
+            flags[i] = s_flags[idx]
+            index[i] = idx
+            if k == 8:  # COND_BRANCH: recorded direction picks the successor
+                next_pc[i] = s_target[idx] if aux else a + 4
+            elif k in (9, 10):  # JUMP / CALL: static target
+                next_pc[i] = s_target[idx]
+            elif k in (11, 12):  # indirect: recorded target
+                next_pc[i] = aux
+            elif k == 14:  # HALT
+                next_pc[i] = a
+            else:
+                next_pc[i] = a + 4
+        # run lengths, computed backward: run[i] counts the consecutive
+        # plain steps starting at i (0 when step i itself is an event)
+        plain = PLAIN_KINDS
+        streak = 0
+        for i in range(n - 1, -1, -1):
+            streak = streak + 1 if kind[i] in plain else 0
+            run[i] = streak
+        self.pc = pc
+        self.next_pc = next_pc
+        self.kind = kind
+        self.aux = aux_col
+        self.rs = rs
+        self.rt = rt
+        self.rd = rd
+        self.latency = latency
+        self.flags = flags
+        self.index = index
+        self.run = run
+
+    def nbytes(self) -> int:
+        """Total size of the column arrays (diagnostics)."""
+        return sum(getattr(self, name).itemsize * len(getattr(self, name))
+                   for name in ("pc", "next_pc", "kind", "aux", "rs", "rt",
+                                "rd", "latency", "flags", "index", "run"))
+
+
 @dataclass
 class TraceSegment:
     """One fully-decoded binary pass of a trace."""
@@ -271,6 +418,9 @@ class TraceSegment:
     instructions: List[Instruction] = field(default_factory=list)
     #: dynamic stream: (static index, aux payload; -1 when none)
     records: List[Tuple[int, int]] = field(default_factory=list)
+    #: memoized flat-array view (built on first :meth:`columns` call)
+    _columns: Optional[SegmentColumns] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def binary(self) -> str:
@@ -279,6 +429,16 @@ class TraceSegment:
     @property
     def page_bytes(self) -> int:
         return self.meta["page_bytes"]
+
+    def columns(self) -> SegmentColumns:
+        """The decode-once flat-array view of this segment's stream.
+
+        Built on first use and memoized on the segment, so every engine
+        pass (and every sweep job sharing this segment through the trace
+        LRU) reuses one set of arrays."""
+        if self._columns is None:
+            self._columns = SegmentColumns(self)
+        return self._columns
 
     def describe(self) -> str:
         return (f"{self.binary}: {len(self.records):,} steps over "
@@ -505,3 +665,51 @@ def file_digest(path: Union[str, Path]) -> str:
     value = digest.hexdigest()
     _DIGESTS[signature] = value
     return value
+
+
+# ---------------------------------------------------------------------------
+# Decoded-trace memoization
+# ---------------------------------------------------------------------------
+
+#: how many decoded traces one process keeps alive at once.  Sweeps
+#: typically iterate configs over a handful of traces; the decoded form
+#: (instructions + records + flat columns) is a few MB per trace, so a
+#: small LRU captures the reuse without unbounded growth.
+TRACE_CACHE_CAPACITY = 8
+
+#: (realpath, sha256) -> decoded TraceFile, most recently used last.
+#: Keyed by *content*, not just path: an edited trace digests
+#: differently, so a stale decode can never be served (the same property
+#: :attr:`~repro.runner.jobspec.JobSpec.workload_digest` relies on).
+_TRACE_LRU: "OrderedDict[Tuple[str, str], TraceFile]" = OrderedDict()
+
+
+def load_trace(path: Union[str, Path], *, use_cache: bool = True
+               ) -> TraceFile:
+    """Read and decode ``path``, memoizing per process.
+
+    A six-config sweep over one trace used to gunzip and re-decode the
+    file once per job; with the LRU every job in a process (the sweep
+    parent or one pool/queue worker) shares a single decoded
+    :class:`TraceFile` — and therefore a single set of flat
+    :class:`SegmentColumns`.  The cached object is shared, never copied:
+    segments and their columns are read-only to every consumer.
+    ``use_cache=False`` forces a fresh decode (diagnostics/tests)."""
+    if not use_cache:
+        return TraceReader(path).read()
+    key = (os.path.realpath(str(path)), file_digest(path))
+    cached = _TRACE_LRU.get(key)
+    if cached is not None:
+        _TRACE_LRU.move_to_end(key)
+        return cached
+    trace = TraceReader(path).read()
+    _TRACE_LRU[key] = trace
+    while len(_TRACE_LRU) > TRACE_CACHE_CAPACITY:
+        _TRACE_LRU.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized decode (tests and long-lived workers that
+    want to release memory)."""
+    _TRACE_LRU.clear()

@@ -28,7 +28,7 @@ from repro.cpu.functional import StepResult
 from repro.errors import ExecutionError, TraceError
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
-from repro.trace.format import TraceFile, TraceReader, TraceSegment
+from repro.trace.format import TraceFile, TraceSegment, load_trace
 from repro.workloads.synthetic import WorkloadProfile
 
 
@@ -180,5 +180,11 @@ class TraceWorkload:
 
 def load_trace_workload(path: Union[str, Path]) -> TraceWorkload:
     """Read ``path`` and wrap it as a workload (raises
-    :class:`~repro.errors.TraceError` on any malformed input)."""
-    return TraceWorkload(path, TraceReader(path).read())
+    :class:`~repro.errors.TraceError` on any malformed input).
+
+    The decode goes through the per-process LRU in
+    :func:`repro.trace.format.load_trace`: resolving the same trace for
+    every job of a sweep re-reads the file's *bytes* only to digest them
+    (cheap, stat-memoized) and shares one decoded :class:`TraceFile` —
+    keyed by content, so an edited trace is still never served stale."""
+    return TraceWorkload(path, load_trace(path))

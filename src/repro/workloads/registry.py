@@ -24,9 +24,15 @@ This registry is the name space:
 Resolution of generated workloads is memoized per process: generating a
 workload is expensive (seconds for the SPEC profiles) and deterministic,
 so one instance per name is both safe and necessary for the experiment
-layer's pass sharing.  ``trace:`` and ``import:`` names are *not*
-memoized — the file is re-read on every resolve, so an edited trace is
-never served stale (loading a trace is cheap next to simulating it).
+layer's pass sharing.  ``trace:`` names resolve to a fresh
+:class:`~repro.trace.replay.TraceWorkload` wrapper each time, but the
+expensive part — gunzipping and decoding the file — is served from the
+per-process LRU in :func:`repro.trace.format.load_trace`, keyed by the
+file's *content* digest: a sweep decodes each trace once per process,
+and an edited trace still can never be served stale.  ``import:`` names
+re-convert on every resolve (conversion rules can change between
+resolves via ``register_format``; convert once with ``repro trace
+import`` for big streams).
 """
 
 from __future__ import annotations
@@ -135,8 +141,9 @@ def register_profile(profile: WorkloadProfile, *,
 
 def resolve(name: str) -> Union[SyntheticWorkload, "TraceWorkload"]:
     """The workload registered under ``name`` (generated and memoized on
-    first use; ``trace:``/``import:`` names load the file fresh every
-    time).  Raises :class:`KeyError` for unknown names and
+    first use; ``trace:`` names share a content-keyed decoded-file LRU,
+    ``import:`` names convert afresh every time).  Raises
+    :class:`KeyError` for unknown names and
     :class:`~repro.errors.TraceError` for unreadable traces."""
     _ensure_builtins()
     if name.startswith(TRACE_PREFIX):

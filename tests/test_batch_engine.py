@@ -1,0 +1,316 @@
+"""Batch-engine equivalence, flat-array columns, trace memoization, and
+the bench harness.
+
+The batched replay engine's one invariant is *bit-identity* with the
+scalar fast engine: every counter, cycle, and energy number of
+``EngineResult.to_dict()`` must match byte for byte, for every workload,
+iL1 addressing discipline, binary, and scheme set.  This suite pins that
+over all six micro workloads, the mesa SPEC stand-in, and both imported
+foreign fixtures — serially and through a two-worker sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import CacheAddressing, SchemeName, default_config
+from repro.cpu.batch import BatchEngine
+from repro.cpu.fast import FastEngine
+from repro.errors import ConfigError, TraceError
+from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.sim.multi import run_all_schemes
+from repro.sim.simulator import Simulator
+from repro.trace.format import (
+    PLAIN_KINDS,
+    TRACE_CACHE_CAPACITY,
+    clear_trace_cache,
+    load_trace,
+)
+from repro.trace.record import record_trace
+from repro.trace.replay import load_trace_workload
+from repro.workloads.registry import MICROBENCH_NAMES, resolve
+
+GOLDEN_MESA = Path(__file__).parent / "golden" / "mesa.trace.gz"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: recording window for the per-micro traces (small: 9 workloads x 3
+#: addressings x 2 engines run over these)
+MICRO_INSTRUCTIONS, MICRO_WARMUP = 2_000, 300
+MESA_INSTRUCTIONS, MESA_WARMUP = 3_000, 500
+
+ADDRESSINGS = tuple(CacheAddressing)
+
+
+@pytest.fixture(scope="module")
+def micro_traces(tmp_path_factory):
+    """One recorded trace per microbenchmark (module-scoped: recording
+    runs the live simulator twice per workload)."""
+    root = tmp_path_factory.mktemp("batch-traces")
+    paths = {}
+    for name in MICROBENCH_NAMES:
+        path = root / f"{name}.trace.gz"
+        record_trace(f"micro.{name}", default_config(),
+                     instructions=MICRO_INSTRUCTIONS, warmup=MICRO_WARMUP,
+                     path=path)
+        paths[f"micro.{name}"] = path
+    return paths
+
+
+def _canon(run) -> str:
+    return json.dumps(run.to_dict(), sort_keys=True)
+
+
+def _assert_equivalent(workload, config, instructions, warmup):
+    """scalar vs batch full evaluation must serialize identically."""
+    scalar = run_all_schemes(workload, config, instructions=instructions,
+                             warmup=warmup, engine="scalar")
+    batch = run_all_schemes(workload, config, instructions=instructions,
+                            warmup=warmup, engine="batch")
+    assert _canon(scalar) == _canon(batch)
+    # and the default engine must pick the batch path transparently
+    auto = run_all_schemes(workload, config, instructions=instructions,
+                           warmup=warmup)
+    assert _canon(auto) == _canon(scalar)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("addressing", ADDRESSINGS,
+                             ids=[a.value for a in ADDRESSINGS])
+    @pytest.mark.parametrize("name", [f"micro.{m}"
+                                      for m in MICROBENCH_NAMES])
+    def test_micro_workloads(self, micro_traces, name, addressing):
+        workload = load_trace_workload(micro_traces[name])
+        _assert_equivalent(workload, default_config(addressing),
+                           MICRO_INSTRUCTIONS, MICRO_WARMUP)
+
+    @pytest.mark.parametrize("addressing", ADDRESSINGS,
+                             ids=[a.value for a in ADDRESSINGS])
+    def test_mesa_golden_trace(self, addressing):
+        workload = load_trace_workload(GOLDEN_MESA)
+        _assert_equivalent(workload, default_config(addressing),
+                           MESA_INSTRUCTIONS, MESA_WARMUP)
+
+    @pytest.mark.parametrize("addressing", ADDRESSINGS,
+                             ids=[a.value for a in ADDRESSINGS])
+    @pytest.mark.parametrize("name", [
+        f"import:eio:{FIXTURES / 'twopage.eio.txt'}",
+        f"import:gem5:{FIXTURES / 'loopcall.gem5.txt.gz'}",
+    ], ids=["eio", "gem5"])
+    def test_imported_fixtures(self, name, addressing):
+        _assert_equivalent(resolve(name), default_config(addressing),
+                           600, 100)
+
+    @pytest.mark.parametrize("schemes", [
+        (SchemeName.BASE,),
+        (SchemeName.OPT,),
+        (SchemeName.SOCA, SchemeName.IA),
+        (SchemeName.HOA, SchemeName.SOLA),
+    ], ids=["base", "opt", "soca+ia", "hoa+sola"])
+    def test_scheme_subsets(self, schemes):
+        workload = load_trace_workload(GOLDEN_MESA)
+        config = default_config()
+        scalar = run_all_schemes(workload, config,
+                                 instructions=MESA_INSTRUCTIONS,
+                                 warmup=MESA_WARMUP, schemes=schemes,
+                                 engine="scalar")
+        batch = run_all_schemes(workload, config,
+                                instructions=MESA_INSTRUCTIONS,
+                                warmup=MESA_WARMUP, schemes=schemes,
+                                engine="batch")
+        assert _canon(scalar) == _canon(batch)
+
+    def test_zero_warmup_and_tiny_windows(self):
+        workload = load_trace_workload(GOLDEN_MESA)
+        config = default_config()
+        for instructions, warmup in ((1, 0), (17, 0), (100, 3)):
+            scalar = run_all_schemes(workload, config,
+                                     instructions=instructions,
+                                     warmup=warmup, engine="scalar")
+            batch = run_all_schemes(workload, config,
+                                    instructions=instructions,
+                                    warmup=warmup, engine="batch")
+            assert _canon(scalar) == _canon(batch)
+
+    def test_engine_result_reports_fast(self):
+        """Batch results are the fast engine's results (cache keys,
+        golden files, and record->replay identity depend on it)."""
+        workload = load_trace_workload(GOLDEN_MESA)
+        run = run_all_schemes(workload, default_config(),
+                              instructions=500, warmup=0, engine="batch")
+        assert run.plain.engine == "fast"
+
+
+class TestSweepEquivalence:
+    """Auto-selected batch engine through the runner, serial and
+    parallel."""
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["serial", "workers2"])
+    def test_sweep_matches_scalar(self, tmp_path, workers):
+        spec_args = dict(config=default_config(),
+                         instructions=MESA_INSTRUCTIONS,
+                         warmup=MESA_WARMUP)
+        name = f"trace:{GOLDEN_MESA}"
+        fast = JobSpec(workload=name, engine="fast", **spec_args)
+        scalar = JobSpec(workload=name, engine="scalar", **spec_args)
+        assert fast.key != scalar.key  # forced runs cache separately
+        runner = SweepRunner(store=ResultStore(tmp_path / "cache"),
+                             workers=workers)
+        results = {r.spec.engine: r for r in runner.run([fast, scalar])}
+        assert results["fast"].ok and results["scalar"].ok, results
+        assert (_canon(results["fast"].run)
+                == _canon(results["scalar"].run))
+
+
+class TestEngineSelection:
+    def test_batch_engine_rejects_live_programs(self):
+        program = resolve("micro.counted_loop").link()
+        with pytest.raises(ConfigError, match="live workload"):
+            BatchEngine(program, default_config())
+        simulator = Simulator(default_config())
+        with pytest.raises(ConfigError, match="live program"):
+            simulator.run_program(program, instructions=100, engine="batch")
+
+    def test_scalar_forces_fast_engine_on_traces(self):
+        workload = load_trace_workload(GOLDEN_MESA)
+        program = workload.link(page_bytes=4096)
+        result = Simulator(default_config()).run_program(
+            program, instructions=200, engine="scalar")
+        assert result.engine == "fast"
+
+    def test_recording_falls_back_to_scalar(self, tmp_path):
+        """record over a replay must still work (recorder needs the
+        StepResult stream, which only the scalar engine produces)."""
+        out = tmp_path / "rerecord.trace.gz"
+        record_trace(f"trace:{GOLDEN_MESA}", default_config(),
+                     instructions=500, warmup=0, path=out)
+        assert out.exists()
+        rerecorded = load_trace_workload(out)
+        assert rerecorded.trace.segments
+
+    def test_batch_engine_rejects_recorder(self):
+        workload = load_trace_workload(GOLDEN_MESA)
+        program = workload.link(page_bytes=4096)
+        with pytest.raises(ConfigError, match="recording"):
+            BatchEngine(program, default_config(), recorder=object())
+
+    def test_exhaustion_raises_trace_error(self):
+        workload = load_trace_workload(GOLDEN_MESA)
+        program = workload.link(page_bytes=4096)
+        engine = BatchEngine(program, default_config())
+        with pytest.raises(TraceError, match="trace exhausted"):
+            engine.run(10_000_000)
+
+
+class TestSegmentColumns:
+    def test_columns_memoized_per_segment(self):
+        trace = load_trace(GOLDEN_MESA, use_cache=False)
+        segment = trace.segments[0]
+        cols = segment.columns()
+        assert segment.columns() is cols
+        assert cols.steps == len(segment.records)
+        assert len(cols.pc) == cols.steps
+        assert cols.nbytes() > 0
+
+    def test_columns_agree_with_records(self):
+        trace = load_trace(GOLDEN_MESA, use_cache=False)
+        for segment in trace.segments:
+            cols = segment.columns()
+            for i, (idx, aux) in enumerate(segment.records[:2000]):
+                instr = segment.instructions[idx]
+                assert cols.pc[i] == instr.address
+                assert cols.kind[i] == instr.kind_code
+                assert cols.aux[i] == aux
+                assert cols.index[i] == idx
+                assert cols.latency[i] == instr.latency
+
+    def test_run_lengths(self):
+        trace = load_trace(GOLDEN_MESA, use_cache=False)
+        cols = trace.segments[0].columns()
+        n = cols.steps
+        for i in range(min(n, 2000)):
+            if cols.kind[i] in PLAIN_KINDS:
+                expected = cols.run[i + 1] + 1 if i + 1 < n else 1
+                assert cols.run[i] == expected
+            else:
+                assert cols.run[i] == 0
+
+
+class TestTraceMemoization:
+    def test_same_content_shares_one_decode(self, tmp_path):
+        clear_trace_cache()
+        first = load_trace(GOLDEN_MESA)
+        assert load_trace(GOLDEN_MESA) is first
+        # the workload wrapper is fresh, the decoded file shared
+        a = load_trace_workload(GOLDEN_MESA)
+        b = load_trace_workload(GOLDEN_MESA)
+        assert a is not b
+        assert a.trace is b.trace is first
+
+    def test_edited_file_is_never_served_stale(self, tmp_path):
+        clear_trace_cache()
+        path = tmp_path / "t.trace.gz"
+        record_trace("micro.counted_loop", default_config(),
+                     instructions=400, warmup=0, path=path)
+        first = load_trace(path)
+        record_trace("micro.taken_pattern", default_config(),
+                     instructions=400, warmup=0, path=path)
+        second = load_trace(path)
+        assert second is not first
+        assert second.workload_name == "micro.taken_pattern"
+
+    def test_lru_capacity_bounds_the_cache(self, tmp_path):
+        clear_trace_cache()
+        paths = []
+        for i in range(TRACE_CACHE_CAPACITY + 2):
+            path = tmp_path / f"t{i}.trace.gz"
+            record_trace("micro.counted_loop", default_config(),
+                         instructions=100 + i, warmup=0, path=path)
+            paths.append(path)
+        loaded = [load_trace(p) for p in paths]
+        # the first entries were evicted: reloading decodes afresh
+        assert load_trace(paths[0]) is not loaded[0]
+        # the most recent survives
+        assert load_trace(paths[-1]) is loaded[-1]
+        clear_trace_cache()
+
+    def test_use_cache_false_bypasses(self):
+        clear_trace_cache()
+        cached = load_trace(GOLDEN_MESA)
+        assert load_trace(GOLDEN_MESA, use_cache=False) is not cached
+
+
+class TestBenchHarness:
+    def test_bench_workload_structure_and_equivalence_gate(self, tmp_path):
+        from repro.bench import bench_workload, check_floor, speedups
+        records = bench_workload(
+            "177.mesa", GOLDEN_MESA, instructions=800, warmup=100,
+            repeats=1)
+        assert {(r.mode, r.engine) for r in records} == {
+            ("engine", "scalar"), ("engine", "batch"),
+            ("job", "scalar"), ("job", "batch")}
+        for record in records:
+            assert record.instr_per_sec > 0
+            assert record.best_seconds > 0
+            assert record.instructions > 0
+        ratios = speedups(records)["177.mesa"]
+        assert set(ratios) == {"engine", "job"}
+        payload = {"speedups": {"177.mesa": ratios}}
+        # an absurd floor fails, a zero floor passes
+        assert check_floor(payload, 1e9)
+        assert not check_floor(payload, 0.0)
+
+    def test_cli_bench_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "BENCH_test.json"
+        code = main(["bench", "--quick", "--instructions", "600",
+                     "--warmup", "100", "--repeats", "1",
+                     "--trace-dir", str(tmp_path / "traces"),
+                     "-o", str(out), "--fail-below", "0.0"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench_format"] == 1
+        assert payload["speedups"]["177.mesa"]["engine"] > 0
+        assert "floor check passed" in capsys.readouterr().out
