@@ -20,9 +20,19 @@ Subcommands:
 * ``bench``        — measure replay throughput (instr/sec, min-of-N)
   for the scalar vs batched engine and write ``BENCH_<n>.json`` (the
   repository's performance trajectory; see ``docs/performance.md``)
+* ``status``       — one-shot or ``--watch`` dashboard over a
+  ``queue:<dir>`` fleet: queue depth, worker liveness/throughput,
+  stale leases, error tail; ``--json`` for scripts,
+  ``--metrics-out`` for a Prometheus textfile collector
 * ``calibrate``    — print the workload-calibration report
 * ``config``       — print the default (Table 1) machine
 * ``simulate``     — one workload, all schemes, summary output
+
+Global flags (before the subcommand): ``--log-level
+off|error|info|debug`` and ``--log-json FILE`` turn on structured
+JSONL event logging everywhere — sweeps, backends, workers, trace
+decodes, engine runs (see ``docs/observability.md``).  ``simulate``
+and ``sweep`` also accept ``--profile OUT.pstats``.
 
 Workload arguments accept any registry name: the six SPEC stand-ins,
 ``micro.*`` microbenchmarks, recorded ``trace:<path>`` files, and
@@ -38,7 +48,7 @@ import math
 import sys
 from typing import List, Optional
 
-from repro import __version__
+from repro import __version__, telemetry
 from repro.config import (
     CacheAddressing,
     SchemeName,
@@ -189,8 +199,11 @@ def _run_sweep(args: argparse.Namespace,
     stats = runner.last_stats
 
     if args.json:
+        # "metrics" is a separate key (not part of "stats") so the
+        # stats dict stays deterministic across identical runs
         print(to_json({
             "stats": dataclasses.asdict(stats),
+            "metrics": runner.last_metrics,
             "jobs": [result.to_dict() for result in results],
         }))
         return 1 if stats.failed else 0
@@ -226,6 +239,16 @@ def _run_sweep(args: argparse.Namespace,
                                 if scheme.energy else float("nan")),
             })
     table.notes.append(stats.describe())
+    metrics = runner.last_metrics
+    if metrics.get("jobs_measured"):
+        table.notes.append(
+            f"phases: {metrics['decode_seconds']:.2f}s decode "
+            f"({metrics['decode_cold']} cold / "
+            f"{metrics['decode_cached']} LRU), "
+            f"{metrics['simulate_seconds']:.2f}s simulate, "
+            f"{metrics['store_write_seconds']:.2f}s store; "
+            f"{metrics['instr_per_sec']:,.0f} instr/s over "
+            f"{metrics['wall_seconds']:.2f}s wall")
     if cache_dir:
         table.notes.append(f"cache: {store.describe()}")
     print(table.render())
@@ -317,6 +340,8 @@ def _run_worker(args: argparse.Namespace) -> int:
     if args.lease <= 0 or args.poll <= 0:
         print("error: --lease and --poll must be > 0", file=sys.stderr)
         return 2
+    # under --json the progress narration moves to stderr so stdout
+    # carries exactly one parseable object
     stats = run_worker(
         args.queue_dir,
         drain=args.drain,
@@ -324,11 +349,53 @@ def _run_worker(args: argparse.Namespace) -> int:
         lease_seconds=args.lease,
         poll_seconds=args.poll,
         idle_exit=args.idle_exit,
-        log=print,
+        log=(lambda line: print(line, file=sys.stderr)) if args.json
+        else print,
     )
+    if args.json:
+        print(to_json(stats.to_dict()))
     # job failures are recorded in errors/ and belong to the submitter;
     # the worker's exit code reflects only the worker process itself
     return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    from repro.telemetry import status as fleet
+
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    lease = (args.lease if args.lease is not None
+             else fleet.DEFAULT_LEASE_SECONDS)
+    tail = (args.error_tail if args.error_tail is not None
+            else fleet.DEFAULT_ERROR_TAIL)
+    if lease <= 0 or tail < 0:
+        print("error: --lease must be > 0 and --error-tail >= 0",
+              file=sys.stderr)
+        return 2
+
+    def one_shot() -> dict:
+        snap = fleet.snapshot(args.queue_dir, lease_seconds=lease,
+                              error_tail=tail)
+        if args.metrics_out:
+            fleet.write_prometheus(snap, args.metrics_out)
+        print(to_json(snap) if args.json else fleet.render(snap))
+        return snap
+
+    if not args.watch:
+        one_shot()
+        return 0
+    import time as _time
+    try:
+        while True:
+            if not args.json:
+                # clear + home, like watch(1); JSON gets plain frames
+                print("\x1b[2J\x1b[H", end="")
+            one_shot()
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0  # ^C is how a watch ends — not an error
 
 
 def _run_bench(args: argparse.Namespace,
@@ -440,6 +507,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "(iTLB energy via direct physical-address generation)")
     parser.add_argument("--version", action="version",
                         version=f"repro-itlb {__version__}")
+    parser.add_argument("--log-level", default=None,
+                        choices=list(telemetry.LEVELS),
+                        help="structured event logging threshold "
+                             "(default: off, or $REPRO_LOG_LEVEL)")
+    parser.add_argument("--log-json", default=None, metavar="FILE",
+                        help="append events as JSON lines to FILE "
+                             "instead of stderr (implies --log-level "
+                             "info unless one is given)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -493,6 +568,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="machine-readable output (full simulation "
                               "records, including the normalization Base "
                               "pass even under --schemes)")
+    p_sweep.add_argument("--profile", default=None, metavar="OUT.pstats",
+                         help="profile the whole sweep with cProfile "
+                              "and write a pstats dump (read with: "
+                              "python -m pstats OUT.pstats)")
 
     p_trace = sub.add_parser(
         "trace", help="record and inspect instruction traces")
@@ -577,6 +656,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                           metavar="SECONDS",
                           help="exit after this long with nothing to do "
                                "(default: wait forever)")
+    p_worker.add_argument("--json", action="store_true",
+                          help="print the end-of-run summary (claimed/"
+                               "executed/cached/failed/reclaimed/"
+                               "seconds) as one JSON object on stdout")
+
+    p_status = sub.add_parser(
+        "status",
+        help="dashboard over a queue:<dir> fleet — queue depth, worker "
+             "liveness/throughput, stale leases, error tail")
+    p_status.add_argument("queue_dir",
+                          help="the queue directory being drained "
+                               "(never created by status: a typo'd "
+                               "path fails instead of reporting a "
+                               "plausible empty fleet)")
+    p_status.add_argument("--json", action="store_true",
+                          help="print the snapshot as JSON (one object; "
+                               "with --watch, one object per interval)")
+    p_status.add_argument("--watch", action="store_true",
+                          help="redraw every --interval seconds until "
+                               "interrupted")
+    p_status.add_argument("--interval", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="refresh period for --watch "
+                               "(default: 2)")
+    p_status.add_argument("--lease", type=float, default=None,
+                          metavar="SECONDS",
+                          help="claim-staleness threshold (default: the "
+                               "workers' 60s default lease)")
+    p_status.add_argument("--error-tail", type=int, default=None,
+                          metavar="N",
+                          help="recent failures to include (default: 5)")
+    p_status.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="also write the snapshot as a "
+                               "Prometheus-style textfile (atomic "
+                               "rename; point a node-exporter textfile "
+                               "collector at it)")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clean a result-store cache directory")
@@ -613,15 +728,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=["fast", "scalar", "batch"],
                        help="evaluator ('fast' auto-selects the batched "
                             "engine for trace replays)")
+    p_sim.add_argument("--profile", default=None, metavar="OUT.pstats",
+                       help="profile the run with cProfile and write a "
+                            "pstats dump (read with: "
+                            "python -m pstats OUT.pstats)")
     _add_sim_args(p_sim)
 
     p_bench = sub.add_parser(
         "bench",
         help="measure scalar vs batched replay throughput and write "
              "BENCH_<n>.json (see docs/performance.md)")
-    p_bench.add_argument("-o", "--output", default="BENCH_5.json",
+    p_bench.add_argument("-o", "--output", default="BENCH_6.json",
                          help="JSON report to write "
-                              "(default: BENCH_5.json)")
+                              "(default: BENCH_6.json)")
     p_bench.add_argument("--quick", action="store_true",
                          help="mesa only, smaller window, fewer repeats "
                               "(the CI smoke configuration)")
@@ -649,6 +768,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "any benched workload (CI guards 0.9)")
 
     args = parser.parse_args(argv)
+
+    # environment first (a parent sweep/CI job may have exported its
+    # settings), explicit flags override
+    telemetry.configure_from_env()
+    if args.log_level is not None or args.log_json is not None:
+        telemetry.configure(level=args.log_level,
+                            json_path=args.log_json)
 
     if getattr(args, "workers", 1) < 0:
         parser.error("--workers must be >= 0 (0 = auto-detect)")
@@ -686,11 +812,18 @@ def _dispatch(args: argparse.Namespace,
         print(result.render())
         return 0
     if args.command == "sweep":
+        if args.profile:
+            from repro.telemetry.profile import profiled
+            with profiled(args.profile,
+                          log=lambda line: print(line, file=sys.stderr)):
+                return _run_sweep(args, parser)
         return _run_sweep(args, parser)
     if args.command == "trace":
         return _run_trace(args, parser)
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "status":
+        return _run_status(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "bench":
@@ -706,14 +839,24 @@ def _dispatch(args: argparse.Namespace,
         _check_workloads([args.benchmark], parser)
         config = default_config(CacheAddressing(args.il1))
         settings = _settings(args)
-        run = run_all_schemes(registry.resolve(args.benchmark), config,
-                              instructions=settings.instructions,
-                              warmup=settings.warmup,
-                              engine=args.engine)
-        print(summarize_result(run.plain))
-        print()
-        print(summarize_result(run.instrumented))
-        return 0
+
+        def simulate():
+            run = run_all_schemes(registry.resolve(args.benchmark),
+                                  config,
+                                  instructions=settings.instructions,
+                                  warmup=settings.warmup,
+                                  engine=args.engine)
+            print(summarize_result(run.plain))
+            print()
+            print(summarize_result(run.instrumented))
+            return 0
+
+        if args.profile:
+            from repro.telemetry.profile import profiled
+            with profiled(args.profile,
+                          log=lambda line: print(line, file=sys.stderr)):
+                return simulate()
+        return simulate()
     return 2  # pragma: no cover
 
 

@@ -123,6 +123,7 @@ def prefetch(cells: Iterable[Tuple[str, MachineConfig]],
     hits.  A failed cell raises immediately — experiments cannot
     proceed without it.
     """
+    from repro import telemetry
     runner = SweepRunner(store=_STORE,
                          workers=resolve_workers(settings.workers),
                          backend=settings.backend)
@@ -131,6 +132,10 @@ def prefetch(cells: Iterable[Tuple[str, MachineConfig]],
             raise SimulationError(
                 f"prefetch failed for {result.spec.describe()}:\n"
                 f"{result.error}")
+    telemetry.emit("experiment.prefetch", **runner.last_stats.__dict__,
+                   **{k: v for k, v in runner.last_metrics.items()
+                      if k in ("jobs_measured", "simulate_seconds",
+                               "wall_seconds", "instr_per_sec")})
 
 
 def clear_cache() -> None:

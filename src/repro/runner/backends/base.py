@@ -18,10 +18,12 @@ them before re-raising.
 
 from __future__ import annotations
 
+import time
 import traceback
 from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
+from repro import telemetry
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
 
@@ -52,11 +54,31 @@ class SweepInterrupted(KeyboardInterrupt):
 
 def execute_spec(spec: JobSpec) -> Outcome:
     """Run one spec in this process with per-job fault capture (the
-    in-process half every backend shares)."""
-    try:
-        return spec.run(), None
-    except Exception:
-        return None, traceback.format_exc()
+    in-process half every backend shares).
+
+    Opens a :func:`repro.telemetry.metrics.collect` window around the
+    job so the instrumented layers below (trace decode, engine run)
+    have somewhere to report; the finished :class:`JobMetrics` rides on
+    ``run.job_metrics`` — an attribute, never part of
+    ``CombinedRun.to_dict()``, so results stay bit-identical.
+    """
+    started = time.perf_counter()
+    with telemetry.collect(workload=spec.workload) as metrics:
+        try:
+            run = spec.run()
+        except Exception:
+            metrics.total_seconds = time.perf_counter() - started
+            telemetry.emit("job.error", level="error", key=spec.key,
+                           workload=spec.workload,
+                           seconds=metrics.total_seconds)
+            return None, traceback.format_exc()
+        metrics.total_seconds = time.perf_counter() - started
+        run.job_metrics = metrics
+        telemetry.emit("job.done", level="debug", key=spec.key,
+                       workload=spec.workload, engine=metrics.engine,
+                       seconds=metrics.total_seconds,
+                       instructions=metrics.instructions)
+        return run, None
 
 
 class ExecutionBackend(ABC):

@@ -40,6 +40,7 @@ drain side (the long-running ``repro worker <queue-dir>`` command).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import re
@@ -52,6 +53,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Union
 
+from repro import telemetry
 from repro.errors import ConfigError
 from repro.runner.backends.base import (
     ExecutionBackend,
@@ -89,8 +91,17 @@ class Claim:
     key: str
     path: Path  #: claims/<key>.<owner>.json (mtime is the heartbeat)
     payload: Optional[dict]  #: the job file's content (None: unreadable)
+    #: set the moment the claim is released/requeued; from then on
+    #: :meth:`heartbeat` is a guaranteed no-op.  Without this guard a
+    #: straggling heartbeat could touch a *reclaimed* job file's path
+    #: the instant another worker renames it back under the same name —
+    #: a zombie heartbeat masking a dead worker from ``reclaim_stale``
+    #: and from the ``repro status`` liveness view.
+    released: bool = False
 
     def heartbeat(self) -> None:
+        if self.released:
+            return
         try:
             os.utime(self.path)
         except OSError:
@@ -98,6 +109,7 @@ class Claim:
 
     def release(self) -> None:
         """Drop the claim (job finished or already answered)."""
+        self.released = True
         try:
             self.path.unlink()
         except OSError:
@@ -105,6 +117,7 @@ class Claim:
 
     def requeue(self) -> None:
         """Hand the job back (worker shutting down mid-job)."""
+        self.released = True
         try:
             os.rename(self.path, self.queue.jobs_dir / f"{self.key}.json")
         except OSError:
@@ -115,6 +128,7 @@ class FileQueue:
     """The on-disk queue structure (shared by submitters and workers)."""
 
     JOBS, CLAIMS, ERRORS, STORE = "jobs", "claims", "errors", "store"
+    WORKERS = "workers"  #: per-worker heartbeat records (observability)
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -122,8 +136,10 @@ class FileQueue:
         self.claims_dir = self.root / self.CLAIMS
         self.errors_dir = self.root / self.ERRORS
         self.store_dir = self.root / self.STORE
+        self.workers_dir = self.root / self.WORKERS
         for directory in (self.jobs_dir, self.claims_dir,
-                          self.errors_dir, self.store_dir):
+                          self.errors_dir, self.store_dir,
+                          self.workers_dir):
             directory.mkdir(parents=True, exist_ok=True)
 
     # -- submit side ---------------------------------------------------
@@ -216,17 +232,34 @@ class FileQueue:
 
 
 class _Heartbeat:
-    """Background thread refreshing a claim's mtime during execution."""
+    """Background thread refreshing a claim's mtime during execution.
 
-    def __init__(self, claim: Claim, interval: float) -> None:
+    ``also`` is an optional extra callback run on every beat — the
+    worker loop uses it to keep its own ``workers/<owner>.json``
+    liveness record fresh while a long job executes.  Exiting the
+    context joins the thread, and :attr:`Claim.released` guards the
+    race where a beat was already past the stop check: once a claim is
+    released its mtime is never touched again.
+    """
+
+    def __init__(self, claim: Claim, interval: float,
+                 also: Optional[Callable[[], None]] = None) -> None:
         self._claim = claim
         self._interval = max(interval, 0.05)
+        self._also = also
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
             self._claim.heartbeat()
+            if self._also is not None:
+                try:
+                    self._also()
+                except OSError:
+                    pass
+            telemetry.emit("worker.heartbeat", level="debug",
+                           key=self._claim.key)
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -235,6 +268,51 @@ class _Heartbeat:
     def __exit__(self, *exc) -> None:
         self._stop.set()
         self._thread.join()
+
+
+class WorkerRecord:
+    """A worker's liveness/throughput record under ``workers/``.
+
+    One JSON file per worker: identity (owner/pid/host), the lease it
+    was started with (so ``repro status`` judges liveness by the same
+    clock the reclaimer uses), its current state and job, and a
+    :class:`WorkerStats` snapshot.  Full rewrites happen on state
+    changes; between them :meth:`touch` refreshes only the mtime — the
+    liveness signal — for the cost of one ``utime``.
+    """
+
+    def __init__(self, queue: FileQueue, owner: str, *,
+                 lease_seconds: float, poll_seconds: float) -> None:
+        self.path = queue.workers_dir / f"{owner}.json"
+        self._base = {
+            "owner": owner,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "queue": str(queue.root),
+            "started_at": time.time(),
+            "lease_seconds": lease_seconds,
+            "poll_seconds": poll_seconds,
+        }
+
+    def write(self, state: str, stats: "WorkerStats",
+              current: Optional[str] = None, *,
+              exited: bool = False) -> None:
+        record = dict(self._base)
+        record.update(state=state, current=current, exited=exited,
+                      updated_at=time.time(),
+                      stats={k: v for k, v in
+                             dataclasses.asdict(stats).items()
+                             if not isinstance(v, str)})
+        try:
+            atomic_write_text(self.path, json.dumps(record))
+        except OSError:
+            pass  # observability must never take the worker down
+
+    def touch(self) -> None:
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
 
 
 class FileQueueBackend(ExecutionBackend):
@@ -276,7 +354,12 @@ class FileQueueBackend(ExecutionBackend):
                 outcome_for[spec.key] = (run, None)
                 continue
             fq.submit(spec)
+            telemetry.emit("queue.submit", level="debug", key=spec.key,
+                           workload=spec.workload, queue=str(self.root))
             pending[spec.key] = spec
+        telemetry.emit("queue.batch", queue=str(self.root),
+                       submitted=len(pending),
+                       answered=len(outcome_for))
         try:
             self._wait(fq, store, pending, outcome_for)
         except KeyboardInterrupt:
@@ -336,11 +419,16 @@ class WorkerStats:
     cached: int = 0  #: claim released because the store already answered
     failed: int = 0  #: error file written
     reclaimed: int = 0  #: stale claims handed back to the queue
+    owner: str = ""  #: this worker's fleet identity
+    seconds: float = 0.0  #: wall clock of the whole invocation
 
     def describe(self) -> str:
         return (f"{self.claimed} claimed: {self.executed} executed, "
                 f"{self.cached} already in store, {self.failed} failed; "
                 f"{self.reclaimed} stale claim(s) reclaimed")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 def run_worker(root: Union[str, Path], *,
@@ -361,42 +449,72 @@ def run_worker(root: Union[str, Path], *,
 
     Ctrl-C requeues the in-flight job (no lease wait for the others)
     and re-raises.  Returns this worker's :class:`WorkerStats`.
+
+    Alongside the claim-lease heartbeat, the worker maintains a
+    ``workers/<owner>.json`` liveness record (:class:`WorkerRecord`)
+    that ``repro status`` reads: state, current job, stats, and an
+    mtime refreshed while idling *and* while executing — so a worker
+    grinding through one long job and a worker polling an empty queue
+    both read as live, and a SIGKILLed one goes stale within its lease.
     """
     queue = FileQueue(root)
     store = ResultStore(queue.store_dir)
     owner = _owner_id()
-    stats = WorkerStats()
+    stats = WorkerStats(owner=owner)
     emit = log or (lambda line: None)
+    record = WorkerRecord(queue, owner, lease_seconds=lease_seconds,
+                          poll_seconds=poll_seconds)
+    record.write("idle", stats)
     emit(f"worker {owner} draining {queue.root}")
+    telemetry.emit("worker.start", owner=owner, queue=str(queue.root),
+                   lease_seconds=lease_seconds)
+    started = time.monotonic()
     idle_since: Optional[float] = None
-    while True:
-        if max_jobs is not None and stats.claimed >= max_jobs:
-            break
-        claim = queue.claim_next(owner)
-        if claim is None:
-            reclaimed = queue.reclaim_stale(lease_seconds)
-            if reclaimed:
-                stats.reclaimed += reclaimed
-                emit(f"reclaimed {reclaimed} stale claim(s)")
+    try:
+        while True:
+            if max_jobs is not None and stats.claimed >= max_jobs:
+                break
+            claim = queue.claim_next(owner)
+            if claim is None:
+                reclaimed = queue.reclaim_stale(lease_seconds)
+                if reclaimed:
+                    stats.reclaimed += reclaimed
+                    emit(f"reclaimed {reclaimed} stale claim(s)")
+                    telemetry.emit("worker.reclaim", owner=owner,
+                                   count=reclaimed)
+                    record.write("idle", stats)
+                    continue
+                if drain and queue.idle():
+                    break
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (idle_exit is not None
+                        and now - idle_since >= idle_exit):
+                    break
+                record.touch()  # still alive, just idle
+                time.sleep(poll_seconds)
                 continue
-            if drain and queue.idle():
-                break
-            now = time.monotonic()
-            if idle_since is None:
-                idle_since = now
-            if idle_exit is not None and now - idle_since >= idle_exit:
-                break
-            time.sleep(poll_seconds)
-            continue
-        idle_since = None
-        stats.claimed += 1
-        try:
-            _process_claim(queue, store, claim, owner, lease_seconds,
-                           stats, emit)
-        except KeyboardInterrupt:
-            claim.requeue()
-            emit(f"interrupted; requeued {claim.key[:16]}")
-            raise
+            idle_since = None
+            stats.claimed += 1
+            record.write("running", stats, current=claim.key)
+            telemetry.emit("worker.claim", owner=owner, key=claim.key)
+            try:
+                _process_claim(queue, store, claim, owner, lease_seconds,
+                               stats, emit, record)
+            except KeyboardInterrupt:
+                claim.requeue()
+                emit(f"interrupted; requeued {claim.key[:16]}")
+                telemetry.emit("worker.requeue", level="error",
+                               owner=owner, key=claim.key)
+                raise
+            record.write("idle", stats)
+    finally:
+        stats.seconds = time.monotonic() - started
+        record.write("exited", stats, exited=True)
+        telemetry.emit("worker.exit", owner=owner,
+                       **{k: v for k, v in stats.to_dict().items()
+                          if k != "owner"})
     emit(f"worker {owner} done: {stats.describe()}")
     return stats
 
@@ -421,7 +539,9 @@ def _parse_claim(claim: Claim) -> JobSpec:
 
 def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
                    owner: str, lease_seconds: float, stats: WorkerStats,
-                   emit: Callable[[str], None]) -> None:
+                   emit: Callable[[str], None],
+                   record: Optional[WorkerRecord] = None) -> None:
+    touch = record.touch if record is not None else None
     try:
         spec = _parse_claim(claim)
     except Exception:
@@ -431,6 +551,8 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
         claim.release()
         stats.failed += 1
         emit(f"bad job file {claim.key[:16]} -> error recorded")
+        telemetry.emit("worker.bad_job", level="error", owner=owner,
+                       key=claim.key)
         return
     if store.get(spec) is not None:
         # answered while queued (reclaimed job whose first owner died
@@ -438,9 +560,11 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
         claim.release()
         stats.cached += 1
         emit(f"cached {claim.key[:16]} {spec.describe()}")
+        telemetry.emit("worker.cached", owner=owner, key=claim.key,
+                       workload=spec.workload)
         return
     emit(f"run    {claim.key[:16]} {spec.describe()}")
-    with _Heartbeat(claim, interval=lease_seconds / 4):
+    with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
         run, error = execute_spec(spec)
     if run is not None:
         # overwrite=False: if our lease was reclaimed and the other
@@ -449,9 +573,16 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
         queue.clear_error(spec.key)
         stats.executed += 1
         emit(f"done   {claim.key[:16]}")
+        job = getattr(run, "job_metrics", None)
+        telemetry.emit("worker.done", owner=owner, key=claim.key,
+                       workload=spec.workload,
+                       seconds=(None if job is None
+                                else round(job.total_seconds, 6)))
     else:
         queue.write_error(spec.key, error or "unknown failure", owner)
         stats.failed += 1
         emit(f"FAILED {claim.key[:16]}: "
              f"{error.strip().splitlines()[-1] if error else '?'}")
+        telemetry.emit("worker.error", level="error", owner=owner,
+                       key=claim.key, workload=spec.workload)
     claim.release()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import traceback
 from typing import List, Set, TYPE_CHECKING
 
+from repro import telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     Outcome,
@@ -31,6 +32,7 @@ from repro.runner.backends.base import (
 )
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
+from repro.telemetry.metrics import JobMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runner.sweep import SweepRunner, SweepStats
@@ -42,6 +44,17 @@ def _start_method() -> str:
     specific start-method context)."""
     from repro.runner import sweep
     return sweep.multiprocessing.get_start_method()
+
+
+def _reconstruct(payload: dict) -> CombinedRun:
+    """Rebuild a worker's result dict, lifting the ``__metrics__`` side
+    key (see :func:`repro.runner.sweep._execute_payload`) back onto the
+    run as the ``job_metrics`` attribute."""
+    metrics = payload.pop("__metrics__", None)
+    run = CombinedRun.from_dict(payload)
+    if isinstance(metrics, dict):
+        run.job_metrics = JobMetrics.from_dict(metrics)
+    return run
 
 
 class PoolBackend(ExecutionBackend):
@@ -80,7 +93,7 @@ class PoolBackend(ExecutionBackend):
             # futures; pair what did finish with its specs (results come
             # back in submission order, so the finished prefix lines up)
             completed = [
-                (spec, ((CombinedRun.from_dict(payload), None) if ok
+                (spec, ((_reconstruct(payload), None) if ok
                         else (None, payload["traceback"])))
                 for spec, (ok, payload) in zip(remote, exc.raw)]
             raise SweepInterrupted(completed) from None
@@ -88,6 +101,8 @@ class PoolBackend(ExecutionBackend):
             # restricted environments (no /dev/shm, no sem_open): pools
             # are unusable here at all, so run serially in-process —
             # per-job fault capture still applies
+            telemetry.emit("pool.unavailable", level="error",
+                           jobs=len(queue))
             return SerialBackend().execute(queue, runner, stats)
         except Exception:
             # the pool itself broke mid-map — a worker killed outright
@@ -100,9 +115,11 @@ class PoolBackend(ExecutionBackend):
             # private worker and becomes that one JobResult's error
             # while the rest of the sweep completes.
             stats.parallel = False
+            telemetry.emit("pool.broken", level="error",
+                           jobs=len(queue))
             return self._run_quarantined(queue, local, runner)
         remote_outcomes = iter(
-            (CombinedRun.from_dict(payload), None) if ok
+            (_reconstruct(payload), None) if ok
             else (None, payload["traceback"])
             for ok, payload in raw)
         return [runner._run_one(spec) if i in local
@@ -133,6 +150,6 @@ class PoolBackend(ExecutionBackend):
                     "quarantined so the rest of the sweep could "
                     f"complete\n{traceback.format_exc()}")))
                 continue
-            outcomes.append((CombinedRun.from_dict(payload), None) if ok
+            outcomes.append((_reconstruct(payload), None) if ok
                             else (None, payload["traceback"]))
         return outcomes

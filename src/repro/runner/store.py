@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
+from repro.telemetry.metrics import JobMetrics
 
 #: on-disk entry schema version; mismatches are treated as corrupt
 STORE_FORMAT = 1
@@ -148,7 +150,13 @@ class ResultStore:
                 raise ValueError(f"entry format {entry.get('format')!r}")
             if entry.get("key") != key:
                 raise ValueError("entry key does not match spec")
-            return CombinedRun.from_dict(entry["result"])
+            run = CombinedRun.from_dict(entry["result"])
+            metrics = entry.get("metrics")
+            if isinstance(metrics, dict):
+                # restore how the result was originally produced (a
+                # cache hit reports the *recorded* cost, not zero)
+                run.job_metrics = JobMetrics.from_dict(metrics)
+            return run
         except Exception:
             # garbled/stale content: recover by quarantining the file
             self.corrupt += 1
@@ -183,13 +191,27 @@ class ResultStore:
             return None
         if not overwrite and path.exists():
             return path
+        serialize_started = time.perf_counter()
         entry = {
             "format": STORE_FORMAT,
             "key": key,
             "spec": spec.to_dict(),
             "result": run.to_dict(),
         }
-        atomic_write_text(path, json.dumps(entry))
+        text = json.dumps(entry)
+        metrics = getattr(run, "job_metrics", None)
+        if metrics is not None:
+            # the persisted store-write figure can only cover its own
+            # serialization (measuring the rename would require writing
+            # the measurement before taking it); callers that want the
+            # rename included re-time the whole put() — see
+            # SweepRunner.run
+            if metrics.store_write_seconds is None:
+                metrics.store_write_seconds = (
+                    time.perf_counter() - serialize_started)
+            entry["metrics"] = metrics.to_dict()
+            text = json.dumps(entry)
+        atomic_write_text(path, text)
         self.writes += 1
         return path
 

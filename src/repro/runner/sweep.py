@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     SweepInterrupted,
@@ -48,6 +50,7 @@ from repro.runner.backends.base import (
 from repro.runner.jobspec import JobSpec
 from repro.runner.store import ResultStore
 from repro.sim.multi import CombinedRun
+from repro.telemetry.metrics import JobMetrics
 
 
 def resolve_workers(workers: int) -> int:
@@ -63,12 +66,28 @@ def resolve_workers(workers: int) -> int:
 
 def _execute_payload(payload: dict) -> Tuple[bool, dict]:
     """Worker-side entry point: spec dict in, (ok, result-or-traceback)
-    out.  Module-level so every start method can import it."""
+    out.  Module-level so every start method can import it.
+
+    Telemetry config rides across the process boundary as environment
+    variables (non-``fork`` start methods get a fresh interpreter), and
+    the job's phase metrics ride back as a ``__metrics__`` side key the
+    parent pops before reconstructing the run —
+    ``CombinedRun.from_dict`` reads fields by name, so the extra key is
+    invisible to everything that doesn't look for it.
+    """
+    telemetry.configure_from_env()
     try:
-        run = JobSpec.from_dict(payload).run()
-        return True, run.to_dict()
+        spec = JobSpec.from_dict(payload)
     except Exception:
         return False, {"traceback": traceback.format_exc()}
+    run, error = execute_spec(spec)
+    if run is None:
+        return False, {"traceback": error}
+    data = run.to_dict()
+    metrics = getattr(run, "job_metrics", None)
+    if metrics is not None:
+        data["__metrics__"] = metrics.to_dict()
+    return True, data
 
 
 class _MapInterrupted(KeyboardInterrupt):
@@ -88,6 +107,10 @@ class JobResult:
     run: Optional[CombinedRun] = None
     error: Optional[str] = None  #: traceback text when the job failed
     cached: bool = False  #: answered by the store, no simulation ran
+    #: per-phase accounting for this job (decode / simulate / store
+    #: write); ``None`` for failed jobs and for cache hits from entries
+    #: written before metrics existed
+    metrics: Optional[JobMetrics] = None
 
     @property
     def ok(self) -> bool:
@@ -100,6 +123,8 @@ class JobResult:
             "error": self.error,
             "spec": self.spec.to_dict(),
             "result": None if self.run is None else self.run.to_dict(),
+            "metrics": (None if self.metrics is None
+                        else self.metrics.to_dict()),
         }
 
 
@@ -148,6 +173,10 @@ class SweepRunner:
         self.workers = workers
         self.backend = resolve_backend(backend)
         self.last_stats = SweepStats()
+        #: fleet-level phase aggregate of the last run (see
+        #: :func:`repro.telemetry.metrics.aggregate`); kept off
+        #: :class:`SweepStats` so the stats dict stays deterministic
+        self.last_metrics: dict = {}
 
     def _backend(self) -> ExecutionBackend:
         """The backend this run will use (resolving the default)."""
@@ -167,6 +196,7 @@ class SweepRunner:
         specs = list(specs)
         stats = SweepStats(jobs=len(specs))
         results: List[Optional[JobResult]] = [None] * len(specs)
+        wall_started = time.perf_counter()
 
         # answer what we can from the store; queue unique misses (one
         # store probe per unique key, so stats stay honest)
@@ -181,13 +211,18 @@ class SweepRunner:
             cached = self.store.get(spec)
             if cached is not None:
                 stats.cached += 1
-                results[i] = JobResult(spec, run=cached, cached=True)
+                results[i] = JobResult(
+                    spec, run=cached, cached=True,
+                    metrics=getattr(cached, "job_metrics", None))
                 continue
             indices_for[key] = [i]
             queue.append(spec)
 
         backend = self._backend()
         stats.backend = backend.name
+        telemetry.emit("sweep.start", jobs=len(specs),
+                       cached=stats.cached, queued=len(queue),
+                       backend=backend.name)
         try:
             outcomes = backend.execute(queue, self, stats)
         except SweepInterrupted as exc:
@@ -199,18 +234,40 @@ class SweepRunner:
                 else:
                     stats.failed += 1
             self.last_stats = stats
+            telemetry.emit("sweep.interrupted", level="error",
+                           persisted=stats.simulated,
+                           failed=stats.failed)
             raise
 
         for spec, (run, error) in zip(queue, outcomes):
+            metrics = None if run is None else getattr(
+                run, "job_metrics", None)
             if run is not None:
+                put_started = time.perf_counter()
                 self.store.put(spec, run)
+                if metrics is not None:
+                    # full put() wall clock, rename included (the copy
+                    # persisted *inside* the entry can only time its
+                    # own serialization)
+                    metrics.store_write_seconds = (
+                        time.perf_counter() - put_started)
                 stats.simulated += 1
             else:
                 stats.failed += 1
             for i in indices_for[spec.key]:
-                results[i] = JobResult(spec, run=run, error=error)
+                results[i] = JobResult(spec, run=run, error=error,
+                                       metrics=metrics)
 
         self.last_stats = stats
+        wall = time.perf_counter() - wall_started
+        seen: set = set()
+        unique = [r for r in results
+                  if r is not None and not (r.spec.key in seen
+                                            or seen.add(r.spec.key))]
+        self.last_metrics = telemetry.aggregate(
+            (r.metrics for r in unique), wall_seconds=round(wall, 6))
+        telemetry.emit("sweep.end", **stats.__dict__,
+                       wall_seconds=round(wall, 3))
         return results  # type: ignore[return-value]  # every slot filled
 
     # -- in-process execution seam -------------------------------------

@@ -12,8 +12,10 @@ call.  Energy attachment applies the paper's accounting (Section 4.3.1):
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.config import MachineConfig, SchemeName, default_config
 from repro.cpu.batch import BatchEngine
 from repro.cpu.fast import FastEngine
@@ -116,6 +118,8 @@ class Simulator:
                          or (engine == "fast" and replayable
                              and recorder is None))
             cls = BatchEngine if use_batch else FastEngine
+            evaluator = "batch" if use_batch else "scalar"
+            started = time.perf_counter()
             result = cls(program, self.config, schemes=schemes,
                          recorder=recorder).run(instructions, warmup)
         elif engine == "ooo":
@@ -123,9 +127,20 @@ class Simulator:
             if len(selected) != 1:
                 raise ConfigError(
                     "the detailed engine runs exactly one scheme per pass")
+            evaluator = "ooo"
+            started = time.perf_counter()
             result = OutOfOrderEngine(program, self.config,
                                       scheme=selected[0]).run(instructions,
                                                               warmup)
         else:
             raise ConfigError(f"unknown engine '{engine}'")
+        elapsed = time.perf_counter() - started
+        # phase accounting: the *evaluator* that ran ("batch"/"scalar"/
+        # "ooo"), not result.engine, which reports the interchangeability
+        # class ("fast") so cache keys stay engine-agnostic
+        retired = result.shared.instructions
+        telemetry.note_engine(evaluator, elapsed, retired)
+        telemetry.emit("engine.run", level="debug", workload=program.name,
+                       evaluator=evaluator, seconds=round(elapsed, 6),
+                       instructions=retired)
         return attach_energy(result, self.energy_model)

@@ -1,0 +1,52 @@
+"""Reproducible profiling (the ``--profile`` flag).
+
+``repro simulate --profile out.pstats`` / ``repro sweep --profile ...``
+wrap the whole command in :mod:`cProfile` and write a standard pstats
+dump, so the ceiling analysis behind every perf PR (BENCH_5.json's
+shared-event-machinery finding was done with ad-hoc cProfile runs) is a
+recorded, re-runnable artifact instead of a shell history entry.
+
+Read a dump interactively with::
+
+    python -m pstats out.pstats
+    % sort cumtime
+    % stats 25
+
+or programmatically via :class:`pstats.Stats`.  A short top-N summary
+is printed on exit so the headline is visible without leaving the
+terminal.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+
+@contextmanager
+def profiled(path: Union[str, Path], *,
+             log: Optional[Callable[[str], None]] = None,
+             top: int = 15) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block into ``path`` (pstats format).
+
+    The dump is written even when the block raises — a crashing run's
+    profile is usually the one you wanted.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))
+        if log is not None:
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(top)
+            log(f"profile written to {path} (read with: "
+                f"python -m pstats {path})")
+            log(buffer.getvalue().rstrip())

@@ -1,0 +1,317 @@
+"""Fleet status: one structured snapshot of a file-queue directory.
+
+``repro status <queue-dir>`` reads the queue layout the file-queue
+backend maintains (``jobs/`` pending work, ``claims/`` leased work with
+heartbeat mtimes, ``errors/`` failures, ``store/`` finished results)
+plus the per-worker heartbeat records ``repro worker`` writes under
+``workers/`` — and renders them three ways:
+
+* :func:`snapshot` — the plain-dict model everything else derives from
+  (``--json`` prints it verbatim; scripts consume this);
+* :func:`render` — the human dashboard (``--watch`` redraws it);
+* :func:`prometheus` — a Prometheus-style textfile (``--metrics-out``)
+  a node-exporter textfile collector or any scraper can ingest while an
+  overnight sweep drains.
+
+Status is strictly read-only: it must never create the directories it
+inspects (a typo'd path should fail loudly, not report a plausible
+empty fleet), never takes locks, and tolerates every file vanishing
+mid-scan — workers keep renaming things while we look.
+
+Liveness: a worker is **live** while its heartbeat record's mtime is
+younger than its own lease (it reports the lease it was started with);
+a claim is **stale** once its mtime is older than the submitted lease —
+the same rule :meth:`~repro.runner.backends.filequeue.FileQueue.
+reclaim_stale` applies, so the dashboard and the reclaimer can never
+disagree about who is dead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.runner.backends.filequeue import (
+    DEFAULT_LEASE_SECONDS,
+    FileQueue,
+)
+
+#: how many recent failures the snapshot's error tail carries
+DEFAULT_ERROR_TAIL = 5
+
+
+def _age(path: Path, now: float) -> Optional[float]:
+    try:
+        return max(0.0, now - path.stat().st_mtime)
+    except OSError:
+        return None  # renamed away mid-scan
+
+
+def _read_json(path: Path) -> Optional[dict]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def snapshot(root: Union[str, Path], *,
+             lease_seconds: float = DEFAULT_LEASE_SECONDS,
+             error_tail: int = DEFAULT_ERROR_TAIL,
+             now: Optional[float] = None) -> dict:
+    """One read-only pass over a queue directory.
+
+    Raises :class:`~repro.errors.ReproError` if ``root`` is not a
+    directory; missing subdirectories (a queue nothing has written to
+    yet) read as empty, not as errors.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ReproError(f"no such queue directory: {root}")
+    now = time.time() if now is None else now
+
+    jobs_dir = root / FileQueue.JOBS
+    claims_dir = root / FileQueue.CLAIMS
+    errors_dir = root / FileQueue.ERRORS
+    store_dir = root / FileQueue.STORE
+    workers_dir = root / FileQueue.WORKERS
+
+    # -- pending jobs ---------------------------------------------------
+    pending_ages = [age for job in jobs_dir.glob("*.json")
+                    if (age := _age(job, now)) is not None]
+
+    # -- claims (in-flight work) ----------------------------------------
+    claims: List[dict] = []
+    for path in sorted(claims_dir.glob("*.json")):
+        age = _age(path, now)
+        if age is None:
+            continue
+        key, _, rest = path.name.partition(".")
+        owner = rest[:-len(".json")] if rest.endswith(".json") else rest
+        claims.append({
+            "key": key,
+            "owner": owner,
+            "age_seconds": round(age, 3),
+            "stale": age > lease_seconds,
+        })
+
+    # -- error tail -----------------------------------------------------
+    error_paths = []
+    for path in errors_dir.glob("*.json"):
+        try:
+            error_paths.append((path.stat().st_mtime, path))
+        except OSError:
+            continue
+    error_paths.sort(reverse=True)
+    tail: List[dict] = []
+    for mtime, path in error_paths[:max(error_tail, 0)]:
+        entry = _read_json(path) or {}
+        tb = str(entry.get("traceback", "")).strip()
+        tail.append({
+            "key": entry.get("key", path.name[:-len(".json")]),
+            "owner": entry.get("owner", ""),
+            "age_seconds": round(max(0.0, now - mtime), 3),
+            "last_line": tb.splitlines()[-1] if tb else "?",
+        })
+
+    # -- store (finished results) ---------------------------------------
+    store_entries = 0
+    store_bytes = 0
+    for path in store_dir.glob("*.json"):
+        try:
+            store_bytes += path.stat().st_size
+            store_entries += 1
+        except OSError:
+            continue
+
+    # -- workers --------------------------------------------------------
+    workers: List[dict] = []
+    for path in sorted(workers_dir.glob("*.json")):
+        age = _age(path, now)
+        record = _read_json(path)
+        if age is None or record is None:
+            continue
+        stats = record.get("stats") or {}
+        exited = bool(record.get("exited"))
+        lease = float(record.get("lease_seconds") or lease_seconds)
+        live = not exited and age <= lease
+        started = record.get("started_at")
+        elapsed = (max(now - float(started), 1e-9)
+                   if isinstance(started, (int, float)) else None)
+        executed = int(stats.get("executed") or 0)
+        workers.append({
+            "owner": record.get("owner", path.name[:-len(".json")]),
+            "pid": record.get("pid"),
+            "host": record.get("host"),
+            "state": "exited" if exited else str(
+                record.get("state", "?")),
+            "live": live,
+            "stale": not exited and not live,
+            "age_seconds": round(age, 3),
+            "uptime_seconds": (None if elapsed is None
+                               else round(elapsed, 3)),
+            "current": record.get("current"),
+            "stats": stats,
+            "jobs_per_minute": (None if not elapsed else
+                                round(60.0 * executed / elapsed, 3)),
+        })
+
+    return {
+        "queue": str(root),
+        "ts": round(now, 3),
+        "lease_seconds": lease_seconds,
+        "pending": len(pending_ages),
+        "oldest_pending_seconds": (round(max(pending_ages), 3)
+                                   if pending_ages else None),
+        "claimed": len(claims),
+        "stale_claims": sum(1 for c in claims if c["stale"]),
+        "claims": claims,
+        "errors": len(error_paths),
+        "error_tail": tail,
+        "store": {"entries": store_entries, "bytes": store_bytes},
+        "workers_live": sum(1 for w in workers if w["live"]),
+        "workers_known": len(workers),
+        "workers": workers,
+        "drained": not pending_ages and not claims,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Human dashboard
+# ---------------------------------------------------------------------------
+
+
+def _fmt_age(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render(snap: dict) -> str:
+    """The ``repro status`` dashboard (one ``--watch`` frame)."""
+    store = snap["store"]
+    when = time.strftime("%Y-%m-%d %H:%M:%S",
+                         time.localtime(snap["ts"]))
+    lines = [
+        f"queue {snap['queue']} — {when}",
+        f"  pending {snap['pending']}"
+        + (f" (oldest {_fmt_age(snap['oldest_pending_seconds'])})"
+           if snap["oldest_pending_seconds"] is not None else "")
+        + f" | claimed {snap['claimed']}"
+        + (f" ({snap['stale_claims']} STALE)" if snap["stale_claims"]
+           else "")
+        + f" | errors {snap['errors']}"
+        + f" | store {store['entries']} entr"
+          f"{'y' if store['entries'] == 1 else 'ies'}"
+          f" ({store['bytes']:,} bytes)",
+        f"  workers: {snap['workers_live']} live"
+        f" / {snap['workers_known']} known"
+        + ("  [queue drained]" if snap["drained"] else ""),
+    ]
+    if snap["workers"]:
+        lines.append(f"  {'worker':<28} {'state':<8} {'beat':>6} "
+                     f"{'claimed':>7} {'done':>5} {'cached':>6} "
+                     f"{'failed':>6} {'jobs/min':>8}")
+        for worker in snap["workers"]:
+            stats = worker["stats"]
+            state = worker["state"]
+            if worker["stale"]:
+                state = "STALE"
+            rate = worker["jobs_per_minute"]
+            lines.append(
+                f"  {worker['owner'][:28]:<28} {state:<8} "
+                f"{_fmt_age(worker['age_seconds']):>6} "
+                f"{stats.get('claimed', 0):>7} "
+                f"{stats.get('executed', 0):>5} "
+                f"{stats.get('cached', 0):>6} "
+                f"{stats.get('failed', 0):>6} "
+                f"{rate if rate is not None else '-':>8}")
+    for claim in snap["claims"]:
+        if claim["stale"]:
+            lines.append(f"  stale lease {claim['key'][:16]} "
+                         f"(owner {claim['owner']}, silent "
+                         f"{_fmt_age(claim['age_seconds'])})")
+    if snap["error_tail"]:
+        lines.append("  recent errors:")
+        for err in snap["error_tail"]:
+            lines.append(f"    {err['key'][:16]} "
+                         f"({_fmt_age(err['age_seconds'])} ago) "
+                         f"{err['last_line']}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style textfile export
+# ---------------------------------------------------------------------------
+
+_GAUGES = (
+    ("repro_queue_pending_jobs", "Jobs waiting in jobs/.", "pending"),
+    ("repro_queue_claimed_jobs", "Jobs currently leased.", "claimed"),
+    ("repro_queue_stale_claims",
+     "Leased jobs whose heartbeat exceeded the lease.", "stale_claims"),
+    ("repro_queue_error_jobs", "Jobs with a recorded failure.", "errors"),
+    ("repro_workers_live", "Workers with a fresh heartbeat.",
+     "workers_live"),
+    ("repro_workers_known", "Workers that ever wrote a heartbeat.",
+     "workers_known"),
+)
+
+_WORKER_COUNTERS = ("claimed", "executed", "cached", "failed", "reclaimed")
+
+
+def _label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", " "))
+
+
+def prometheus(snap: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format
+    (suitable for a node-exporter textfile collector)."""
+    lines: List[str] = []
+
+    def gauge(name: str, help_text: str, value) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+
+    for name, help_text, key in _GAUGES:
+        gauge(name, help_text, snap[key])
+    gauge("repro_store_entries", "Finished results in the shared store.",
+          snap["store"]["entries"])
+    gauge("repro_store_bytes", "Bytes of finished results.",
+          snap["store"]["bytes"])
+    gauge("repro_queue_drained",
+          "1 when nothing is pending or claimed.",
+          int(snap["drained"]))
+
+    lines.append("# HELP repro_worker_up 1 while the worker's heartbeat "
+                 "is within its lease.")
+    lines.append("# TYPE repro_worker_up gauge")
+    for worker in snap["workers"]:
+        lines.append(f'repro_worker_up{{worker="'
+                     f'{_label(worker["owner"])}"}} '
+                     f'{int(worker["live"])}')
+    for counter in _WORKER_COUNTERS:
+        name = f"repro_worker_{counter}_total"
+        lines.append(f"# HELP {name} Jobs {counter} by this worker.")
+        lines.append(f"# TYPE {name} counter")
+        for worker in snap["workers"]:
+            value = int(worker["stats"].get(counter) or 0)
+            lines.append(f'{name}{{worker="{_label(worker["owner"])}"}} '
+                         f"{value}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snap: dict, path: Union[str, Path]) -> None:
+    """Atomically write the textfile export (scrapers must never see a
+    torn file)."""
+    from repro.runner.store import atomic_write_text
+    atomic_write_text(Path(path), prometheus(snap))

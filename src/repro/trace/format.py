@@ -53,6 +53,7 @@ import hashlib
 import json
 import os
 import struct
+import time
 import zlib
 from array import array
 from collections import OrderedDict
@@ -695,14 +696,22 @@ def load_trace(path: Union[str, Path], *, use_cache: bool = True
     :class:`SegmentColumns`.  The cached object is shared, never copied:
     segments and their columns are read-only to every consumer.
     ``use_cache=False`` forces a fresh decode (diagnostics/tests)."""
+    from repro.telemetry import emit, note_decode
     if not use_cache:
         return TraceReader(path).read()
     key = (os.path.realpath(str(path)), file_digest(path))
     cached = _TRACE_LRU.get(key)
     if cached is not None:
         _TRACE_LRU.move_to_end(key)
+        note_decode(0.0, cached=True)
+        emit("trace.lru_hit", level="debug", path=str(path))
         return cached
+    started = time.perf_counter()
     trace = TraceReader(path).read()
+    elapsed = time.perf_counter() - started
+    note_decode(elapsed, cached=False)
+    emit("trace.decode", level="debug", path=str(path),
+         seconds=round(elapsed, 6), segments=len(trace.segments))
     _TRACE_LRU[key] = trace
     while len(_TRACE_LRU) > TRACE_CACHE_CAPACITY:
         _TRACE_LRU.popitem(last=False)

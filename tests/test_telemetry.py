@@ -1,0 +1,720 @@
+"""The observability layer: event core, per-job metrics, fleet status,
+profiling — and the guarantees that make it safe to ship everywhere:
+telemetry must never change a simulation result byte, and the disabled
+path must cost (approximately) nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.config import TLBConfig, default_config
+from repro.errors import ReproError
+from repro.runner import (
+    FileQueueBackend,
+    JobSpec,
+    ResultStore,
+    SweepRunner,
+    run_worker,
+)
+from repro.runner.backends.filequeue import (
+    Claim,
+    FileQueue,
+    WorkerRecord,
+    WorkerStats,
+    _Heartbeat,
+)
+from repro.telemetry import status as fleet
+from repro.telemetry.core import _LEVEL_NUM
+from repro.telemetry.metrics import JobMetrics
+from repro.telemetry.profile import profiled
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled — the global
+    default the rest of the suite depends on."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _spec(workload: str = "micro.counted_loop", entries: int = 8,
+          instructions: int = 2_000) -> JobSpec:
+    config = default_config().with_itlb(TLBConfig(entries=entries))
+    return JobSpec(workload=workload, config=config,
+                   instructions=instructions, warmup=400)
+
+
+# ---------------------------------------------------------------------------
+# Core: levels, emit, counters, span, env propagation
+# ---------------------------------------------------------------------------
+
+
+class TestCore:
+    def test_disabled_by_default(self):
+        assert telemetry.level_name() == "off"
+        assert not telemetry.enabled("error")
+
+    def test_level_ordering(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry.configure(level="info", json_path=str(log))
+        telemetry.emit("a.info")
+        telemetry.emit("a.debug", level="debug")  # below threshold
+        telemetry.emit("a.error", level="error")
+        events = [json.loads(line)["event"]
+                  for line in log.read_text().splitlines()]
+        assert events == ["a.info", "a.error"]
+
+    def test_emit_lines_are_strict_json(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry.configure(level="info", json_path=str(log))
+        telemetry.emit("nan.test", value=float("nan"),
+                       inf=float("inf"), fine=1.5)
+        record = json.loads(log.read_text())
+        assert record["value"] is None and record["inf"] is None
+        assert record["fine"] == 1.5
+        assert record["pid"] == os.getpid()
+
+    def test_json_path_implies_info(self, tmp_path):
+        telemetry.configure(json_path=str(tmp_path / "x.jsonl"))
+        assert telemetry.level_name() == "info"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry.configure(level="loud")
+
+    def test_counters(self):
+        telemetry.count("noop")  # off: must not record
+        assert telemetry.counters() == {}
+        telemetry.configure(level="error")
+        telemetry.count("hits")
+        telemetry.count("hits", 2)
+        assert telemetry.counters() == {"hits": 3}
+        telemetry.disable()
+        assert telemetry.counters() == {}
+
+    def test_span_times_and_flags_errors(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        telemetry.configure(level="info", json_path=str(log))
+        with telemetry.span("ok.block"):
+            pass
+        with pytest.raises(RuntimeError):
+            with telemetry.span("bad.block"):
+                raise RuntimeError("boom")
+        ok, bad = [json.loads(line)
+                   for line in log.read_text().splitlines()]
+        assert ok["event"] == "ok.block" and ok["seconds"] >= 0.0
+        assert bad["event"] == "bad.block" and bad["error"] is True
+
+    def test_env_round_trip(self, tmp_path):
+        log = tmp_path / "child.jsonl"
+        telemetry.configure(level="debug", json_path=str(log))
+        assert os.environ[telemetry.ENV_LEVEL] == "debug"
+        assert os.environ[telemetry.ENV_JSON] == str(log)
+        # a fresh process adopts the same settings
+        telemetry.disable()
+        os.environ[telemetry.ENV_LEVEL] = "debug"
+        os.environ[telemetry.ENV_JSON] = str(log)
+        telemetry.configure_from_env()
+        assert telemetry.level_name() == "debug"
+        telemetry.emit("child.event")
+        assert json.loads(log.read_text())["event"] == "child.event"
+
+    def test_bogus_env_never_crashes(self):
+        os.environ[telemetry.ENV_LEVEL] = "not-a-level"
+        telemetry.configure_from_env()
+        assert telemetry.level_name() == "off"
+
+    def test_every_level_spelling_is_ordered(self):
+        assert [_LEVEL_NUM[name] for name in telemetry.LEVELS] == [
+            0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# Off-path equivalence: telemetry must never change a result byte
+# ---------------------------------------------------------------------------
+
+
+class TestOffPathEquivalence:
+    def test_results_bit_identical_on_vs_off(self, tmp_path):
+        spec = _spec()
+        baseline = spec.run().to_dict()
+        telemetry.configure(level="debug",
+                            json_path=str(tmp_path / "noisy.jsonl"))
+        noisy = spec.run().to_dict()
+        assert json.dumps(noisy, sort_keys=True) == json.dumps(
+            baseline, sort_keys=True)
+
+    def test_mesa_golden_numbers_unaffected(self, tmp_path, mesa_workload,
+                                            mesa_run_vipt):
+        from repro.sim.multi import run_all_schemes
+        telemetry.configure(level="debug",
+                            json_path=str(tmp_path / "noisy.jsonl"))
+        noisy = run_all_schemes(mesa_workload, default_config(),
+                                instructions=20_000, warmup=4_000)
+        assert noisy.to_dict() == mesa_run_vipt.to_dict()
+
+    def test_metrics_never_enter_result_dict(self):
+        runner = SweepRunner()
+        (result,) = runner.run([_spec()])
+        assert result.metrics is not None
+        assert "metrics" not in result.run.to_dict()
+        assert "job_metrics" not in result.run.to_dict()
+
+    def test_disabled_run_writes_nothing(self, capsys):
+        """With telemetry off a whole job runs without one sink write
+        (events default to stderr, which must stay empty)."""
+        _spec().run()
+        assert capsys.readouterr().err == ""
+
+    def test_emit_call_sites_are_o1_per_run(self, monkeypatch):
+        """No per-instruction call sites: a 10x bigger window reaches
+        emit() exactly as many times (counted below the level guard, so
+        this pins the call sites themselves, not the configuration)."""
+        from repro.runner.backends.base import execute_spec
+        calls = []
+        monkeypatch.setattr("repro.telemetry.emit",
+                            lambda *a, **k: calls.append(a))
+        execute_spec(_spec(instructions=2_000))
+        small = len(calls)
+        calls.clear()
+        execute_spec(_spec(instructions=20_000))
+        assert len(calls) == small > 0
+
+    def test_enabled_run_emits_o1_events(self, tmp_path):
+        """Event volume is per-run, never per-instruction: a 10x bigger
+        window must produce exactly the same number of events."""
+        log = tmp_path / "count.jsonl"
+        telemetry.configure(level="debug", json_path=str(log))
+        _spec(instructions=2_000).run()
+        small = len(log.read_text().splitlines())
+        log.write_text("")
+        _spec(instructions=20_000).run()
+        large = len(log.read_text().splitlines())
+        assert small == large > 0
+
+    def test_disabled_overhead_under_two_percent(self, mesa_workload):
+        """The bench floor guard: with telemetry disabled, the batch
+        replay path must run within 2% of a build with the telemetry
+        calls short-circuited entirely (min-of-N keeps this stable)."""
+        from repro.sim.multi import run_all_schemes
+
+        def once() -> float:
+            start = time.perf_counter()
+            run_all_schemes(mesa_workload, default_config(),
+                            instructions=20_000, warmup=4_000)
+            return time.perf_counter() - start
+
+        once()  # warm caches (registry, program link)
+        baseline = min(once() for _ in range(3))
+        with_calls = min(once() for _ in range(3))
+        # both timings run the same disabled-path code; the assertion
+        # bounds jitter-plus-overhead, and a hot emit() on the off path
+        # would blow far past it
+        assert with_calls <= baseline * 1.02 + 0.05
+
+
+# ---------------------------------------------------------------------------
+# Per-job metrics: collection, transport, persistence, aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestJobMetrics:
+    def test_serial_run_attaches_metrics(self):
+        runner = SweepRunner()
+        (result,) = runner.run([_spec()])
+        metrics = result.metrics
+        assert metrics.workload == "micro.counted_loop"
+        assert metrics.engine == "scalar"  # live program: scalar loop
+        assert metrics.passes == 2  # plain + instrumented
+        assert metrics.instructions > 0
+        assert metrics.simulate_seconds > 0.0
+        assert metrics.total_seconds >= metrics.simulate_seconds
+        assert metrics.instr_per_sec > 0.0
+
+    def test_metrics_round_trip(self):
+        metrics = JobMetrics(workload="w", engine="batch",
+                             simulate_seconds=2.0, passes=2,
+                             instructions=100)
+        data = json.loads(json.dumps(metrics.to_dict()))
+        assert data["instr_per_sec"] == 50.0
+        rebuilt = JobMetrics.from_dict(data)
+        assert rebuilt == metrics  # instr_per_sec is derived, ignored
+
+    def test_store_persists_and_restores_metrics(self, tmp_path):
+        spec = _spec()
+        runner = SweepRunner(store=ResultStore(tmp_path))
+        (first,) = runner.run([spec])
+        assert first.metrics.store_write_seconds > 0.0
+        entry = json.loads(
+            runner.store.path_for(spec).read_text())
+        assert entry["metrics"]["engine"] == "scalar"
+        # a fresh store (fresh process, conceptually) restores them
+        reader = SweepRunner(store=ResultStore(tmp_path))
+        (hit,) = reader.run([spec])
+        assert hit.cached
+        assert hit.metrics.engine == "scalar"
+        assert hit.metrics.instructions == first.metrics.instructions
+
+    def test_cached_result_without_metrics_entry(self, tmp_path):
+        """Entries written before metrics existed stay readable and
+        simply report no metrics."""
+        spec = _spec()
+        store = ResultStore(tmp_path)
+        SweepRunner(store=store).run([spec])
+        path = store.path_for(spec)
+        entry = json.loads(path.read_text())
+        del entry["metrics"]
+        path.write_text(json.dumps(entry))
+        (hit,) = SweepRunner(store=ResultStore(tmp_path)).run([spec])
+        assert hit.cached and hit.metrics is None
+
+    def test_pool_transport(self):
+        """Metrics cross the process boundary via the __metrics__ side
+        key without touching the result payload."""
+        from repro.runner.sweep import _execute_payload
+        ok, payload = _execute_payload(_spec().to_dict())
+        assert ok
+        side = payload.pop("__metrics__")
+        assert side["engine"] == "scalar" and side["passes"] == 2
+        from repro.sim.multi import CombinedRun
+        run = CombinedRun.from_dict(payload)  # clean after the pop
+        assert "__metrics__" not in run.to_dict()
+
+    def test_pool_backend_attaches_metrics(self):
+        runner = SweepRunner(workers=2, backend="pool")
+        results = runner.run([_spec(entries=8), _spec(entries=32)])
+        for result in results:
+            assert result.metrics is not None
+            assert result.metrics.engine == "scalar"
+
+    def test_failed_job_has_no_metrics(self):
+        bad = JobSpec(workload="trace:/nonexistent.trace",
+                      config=default_config(), instructions=100,
+                      warmup=0)
+        (result,) = SweepRunner().run([bad])
+        assert not result.ok and result.metrics is None
+        assert result.to_dict()["metrics"] is None
+
+    def test_trace_decode_phases(self, tmp_path):
+        from repro.trace import record_trace
+        from repro.trace.format import clear_trace_cache
+        trace = tmp_path / "loop.trace"
+        record_trace("micro.counted_loop", default_config(),
+                     instructions=2_000, warmup=400, path=trace)
+        clear_trace_cache()
+        runner = SweepRunner()
+        spec = _spec(workload=f"trace:{trace}")
+        (cold,) = runner.run([spec])
+        assert cold.metrics.engine == "batch"
+        assert cold.metrics.decode_cold >= 1
+        assert cold.metrics.decode_seconds > 0.0
+        # same trace again in this process: pure LRU hits
+        spec2 = _spec(workload=f"trace:{trace}", entries=32)
+        (warm,) = runner.run([spec2])
+        assert warm.metrics.decode_cold == 0
+        assert warm.metrics.decode_cached >= 1
+        assert warm.metrics.decode_seconds == 0.0
+
+    def test_aggregate(self):
+        done = JobMetrics(simulate_seconds=2.0, decode_seconds=0.5,
+                          decode_cold=1, decode_cached=3,
+                          instructions=100,
+                          store_write_seconds=0.25)
+        total = telemetry.aggregate([done, done, None],
+                                    wall_seconds=5.0)
+        assert total["jobs_measured"] == 2
+        assert total["jobs_unmeasured"] == 1
+        assert total["simulate_seconds"] == 4.0
+        assert total["decode_cold"] == 2 and total["decode_cached"] == 6
+        assert total["store_write_seconds"] == 0.5
+        assert total["instr_per_sec"] == 50.0
+        assert total["wall_seconds"] == 5.0
+        empty = telemetry.aggregate([])
+        assert empty["jobs_measured"] == 0
+        assert empty["instr_per_sec"] == 0.0
+
+    def test_runner_last_metrics(self):
+        runner = SweepRunner()
+        spec = _spec()
+        runner.run([spec, spec])  # duplicate shares one simulation
+        agg = runner.last_metrics
+        assert agg["jobs_measured"] == 1  # dedup counted once
+        assert agg["wall_seconds"] > 0.0
+        assert agg["simulate_seconds"] > 0.0
+
+    def test_stats_dict_stays_deterministic(self, tmp_path):
+        """The aggregate lives on runner.last_metrics, never inside
+        SweepStats — repeat runs must produce identical stats dicts."""
+        import dataclasses
+        spec = _spec()
+        first = SweepRunner(store=ResultStore(tmp_path))
+        first.run([spec])
+        second = SweepRunner(store=ResultStore(tmp_path))
+        second.run([spec])
+        a = dataclasses.asdict(first.last_stats)
+        b = dataclasses.asdict(second.last_stats)
+        assert b == {**a, "cached": 1, "simulated": 0}
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat regression: a released claim must never be touched again
+# ---------------------------------------------------------------------------
+
+
+class TestHeartbeatAfterRelease:
+    def _claim(self, tmp_path) -> Claim:
+        queue = FileQueue(tmp_path / "q")
+        queue.submit(_spec())
+        return queue.claim_next("owner-a")
+
+    def test_heartbeat_stops_at_release(self, tmp_path):
+        claim = self._claim(tmp_path)
+        path = claim.path
+        with _Heartbeat(claim, interval=0.05):
+            time.sleep(0.12)  # let it beat at least once
+            claim.release()
+            # adversarial: recreate the file at the claim's old path
+            # with an ancient mtime; a live heartbeat would refresh it
+            path.write_text("{}")
+            old = time.time() - 3600
+            os.utime(path, (old, old))
+            time.sleep(0.15)
+        assert abs(path.stat().st_mtime - old) < 1.0
+
+    def test_heartbeat_stops_at_requeue(self, tmp_path):
+        claim = self._claim(tmp_path)
+        job_path = claim.path.parent.parent / FileQueue.JOBS / (
+            claim.key + ".json")
+        with _Heartbeat(claim, interval=0.05):
+            claim.requeue()
+            old = time.time() - 3600
+            os.utime(job_path, (old, old))
+            time.sleep(0.15)
+        # the requeued job file must not have been "heartbeaten"
+        assert abs(job_path.stat().st_mtime - old) < 1.0
+
+    def test_released_claim_heartbeat_is_noop(self, tmp_path):
+        claim = self._claim(tmp_path)
+        claim.release()
+        claim.heartbeat()  # must not raise, must not recreate the file
+        assert not claim.path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Worker liveness records
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerRecord:
+    def test_worker_writes_lifecycle_record(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir).submit(_spec())
+        stats = run_worker(queue_dir, drain=True, lease_seconds=30)
+        assert stats.claimed == 1 and stats.executed == 1
+        assert stats.owner and stats.seconds > 0.0
+        record = json.loads(
+            (queue_dir / "workers" / f"{stats.owner}.json").read_text())
+        assert record["exited"] is True
+        assert record["state"] == "exited"
+        assert record["stats"]["executed"] == 1
+        assert record["lease_seconds"] == 30
+        assert record["pid"] == os.getpid()
+
+    def test_record_touch_refreshes_mtime_only(self, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        record = WorkerRecord(queue, "w1", lease_seconds=60,
+                              poll_seconds=0.2)
+        record.write("idle", WorkerStats(owner="w1"))
+        before = record.path.read_text()
+        old = time.time() - 120
+        os.utime(record.path, (old, old))
+        record.touch()
+        assert record.path.stat().st_mtime > old + 60
+        assert record.path.read_text() == before
+
+    def test_touch_missing_record_is_harmless(self, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        record = WorkerRecord(queue, "w1", lease_seconds=60,
+                              poll_seconds=0.2)
+        record.touch()  # file never written: must not raise
+
+    def test_stats_to_dict(self):
+        stats = WorkerStats(claimed=2, executed=1, cached=1,
+                            owner="w9", seconds=1.5)
+        data = stats.to_dict()
+        assert data["owner"] == "w9" and data["claimed"] == 2
+        assert data["seconds"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Fleet status
+# ---------------------------------------------------------------------------
+
+
+class TestStatus:
+    def _drained_queue(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir).submit(_spec())
+        stats = run_worker(queue_dir, drain=True, lease_seconds=30)
+        return queue_dir, stats
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no such queue directory"):
+            fleet.snapshot(tmp_path / "nope")
+        # and must not have created it
+        assert not (tmp_path / "nope").exists()
+
+    def test_empty_queue_layout(self, tmp_path):
+        (tmp_path / "q").mkdir()
+        snap = fleet.snapshot(tmp_path / "q")
+        assert snap["pending"] == 0 and snap["claimed"] == 0
+        assert snap["workers_known"] == 0 and snap["drained"] is True
+
+    def test_snapshot_of_drained_queue(self, tmp_path):
+        queue_dir, stats = self._drained_queue(tmp_path)
+        snap = fleet.snapshot(queue_dir)
+        assert snap["drained"] is True
+        assert snap["store"]["entries"] == 1
+        assert snap["workers_known"] == 1
+        (worker,) = snap["workers"]
+        assert worker["owner"] == stats.owner
+        assert worker["state"] == "exited" and worker["live"] is False
+        assert worker["stats"]["executed"] == 1
+
+    def test_pending_and_stale_claims(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        queue = FileQueue(queue_dir)
+        queue.submit(_spec(entries=8))
+        queue.submit(_spec(entries=32))
+        claim = queue.claim_next("owner-a")
+        old = time.time() - 300
+        os.utime(claim.path, (old, old))
+        snap = fleet.snapshot(queue_dir, lease_seconds=60)
+        assert snap["pending"] == 1
+        assert snap["oldest_pending_seconds"] >= 0.0
+        assert snap["claimed"] == 1 and snap["stale_claims"] == 1
+        assert snap["claims"][0]["owner"] == "owner-a"
+        assert snap["claims"][0]["stale"] is True
+        assert snap["drained"] is False
+
+    def test_live_worker_detection(self, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        record = WorkerRecord(queue, "w-live", lease_seconds=60,
+                              poll_seconds=0.2)
+        record.write("idle", WorkerStats(owner="w-live"))
+        snap = fleet.snapshot(tmp_path / "q")
+        (worker,) = snap["workers"]
+        assert worker["live"] is True and worker["stale"] is False
+        assert snap["workers_live"] == 1
+        # silent past its lease: stale, not live
+        old = time.time() - 120
+        os.utime(record.path, (old, old))
+        snap = fleet.snapshot(tmp_path / "q")
+        assert snap["workers_live"] == 0
+        assert snap["workers"][0]["stale"] is True
+
+    def test_error_tail(self, tmp_path):
+        queue = FileQueue(tmp_path / "q")
+        for i in range(7):
+            queue.write_error(f"key{i}", f"Trace\nValueError: boom{i}",
+                              "owner-a")
+        snap = fleet.snapshot(tmp_path / "q", error_tail=3)
+        assert snap["errors"] == 7
+        assert len(snap["error_tail"]) == 3
+        entry = snap["error_tail"][0]
+        assert entry["owner"] == "owner-a"
+        assert entry["last_line"].startswith("ValueError: boom")
+
+    def test_render_mentions_the_essentials(self, tmp_path):
+        queue_dir, stats = self._drained_queue(tmp_path)
+        text = fleet.render(fleet.snapshot(queue_dir))
+        assert "queue drained" in text
+        assert stats.owner in text
+        assert "exited" in text
+
+    def test_snapshot_is_strict_json(self, tmp_path):
+        queue_dir, _ = self._drained_queue(tmp_path)
+        json.loads(json.dumps(fleet.snapshot(queue_dir),
+                              allow_nan=False))
+
+    def test_prometheus_format(self, tmp_path):
+        queue_dir, stats = self._drained_queue(tmp_path)
+        text = fleet.prometheus(fleet.snapshot(queue_dir))
+        metrics = {}
+        for line in text.splitlines():
+            assert line, "no blank lines in the textfile"
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert not line.startswith("#")
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)  # every sample parses as a number
+            metrics[name_and_labels] = float(value)
+        assert metrics["repro_queue_pending_jobs"] == 0
+        assert metrics["repro_store_entries"] == 1
+        assert metrics["repro_queue_drained"] == 1
+        assert metrics[
+            f'repro_worker_executed_total{{worker="{stats.owner}"}}'] == 1
+
+    def test_write_prometheus(self, tmp_path):
+        queue_dir, _ = self._drained_queue(tmp_path)
+        out = tmp_path / "metrics.prom"
+        fleet.write_prometheus(fleet.snapshot(queue_dir), out)
+        assert "repro_queue_drained 1" in out.read_text()
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
+# ---------------------------------------------------------------------------
+# Profiling
+# ---------------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_profiled_writes_loadable_pstats(self, tmp_path):
+        import pstats
+        out = tmp_path / "run.pstats"
+        lines = []
+        with profiled(out, log=lines.append):
+            sum(range(1000))
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert any("pstats" in line for line in lines)
+
+    def test_profile_survives_exceptions(self, tmp_path):
+        import pstats
+        out = tmp_path / "crash.pstats"
+        with pytest.raises(RuntimeError):
+            with profiled(out):
+                raise RuntimeError("boom")
+        pstats.Stats(str(out))  # dump exists and parses
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_status_json(self, tmp_path, capsys):
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir).submit(_spec())
+        run_worker(queue_dir, drain=True, lease_seconds=30)
+        assert main(["status", str(queue_dir), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["drained"] is True
+        assert snap["workers_known"] == 1
+
+    def test_status_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["status", str(tmp_path / "nope")]) == 1
+        assert "no such queue directory" in capsys.readouterr().err
+        assert not (tmp_path / "nope").exists()
+
+    def test_status_metrics_out(self, tmp_path, capsys):
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir)  # empty but existing layout
+        out = tmp_path / "metrics.prom"
+        assert main(["status", str(queue_dir),
+                     "--metrics-out", str(out)]) == 0
+        assert "repro_queue_pending_jobs 0" in out.read_text()
+
+    def test_status_rejects_bad_interval(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "q").mkdir()
+        assert main(["status", str(tmp_path / "q"), "--watch",
+                     "--interval", "0"]) == 2
+
+    def test_worker_json_summary(self, tmp_path, capsys):
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir).submit(_spec())
+        assert main(["worker", str(queue_dir), "--drain",
+                     "--json"]) == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["claimed"] == 1 and summary["executed"] == 1
+        assert summary["owner"]
+        # narration moved to stderr so stdout is exactly one object
+        assert "draining" in captured.err
+
+    def test_sweep_json_carries_metrics(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--benchmarks", "micro.counted_loop",
+                     "--itlb-entries", "8", "--instructions", "2000",
+                     "--warmup", "400", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["jobs_measured"] == 1
+        assert payload["jobs"][0]["metrics"]["engine"] == "scalar"
+        assert "metrics" not in payload["stats"]
+
+    def test_sweep_table_phase_note(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--benchmarks", "micro.counted_loop",
+                     "--itlb-entries", "8", "--instructions", "2000",
+                     "--warmup", "400"]) == 0
+        assert "instr/s over" in capsys.readouterr().out
+
+    def test_simulate_profile_flag(self, tmp_path, capsys):
+        import pstats
+        from repro.cli import main
+        out = tmp_path / "sim.pstats"
+        assert main(["simulate", "micro.counted_loop",
+                     "--instructions", "2000", "--warmup", "400",
+                     "--profile", str(out)]) == 0
+        assert pstats.Stats(str(out)).total_calls > 0
+
+    def test_sweep_profile_flag(self, tmp_path, capsys):
+        import pstats
+        from repro.cli import main
+        out = tmp_path / "sweep.pstats"
+        assert main(["sweep", "--benchmarks", "micro.counted_loop",
+                     "--itlb-entries", "8", "--instructions", "2000",
+                     "--warmup", "400", "--profile", str(out)]) == 0
+        assert pstats.Stats(str(out)).total_calls > 0
+
+    def test_log_flags_configure_and_log(self, tmp_path, capsys):
+        from repro.cli import main
+        log = tmp_path / "run.jsonl"
+        assert main(["--log-json", str(log), "sweep", "--benchmarks",
+                     "micro.counted_loop", "--itlb-entries", "8",
+                     "--instructions", "2000", "--warmup", "400",
+                     "--json"]) == 0
+        events = [json.loads(line)["event"]
+                  for line in log.read_text().splitlines()]
+        assert "sweep.start" in events and "sweep.end" in events
+        # stdout is still exactly the sweep's JSON payload
+        json.loads(capsys.readouterr().out)
+
+    def test_log_level_rejects_unknown(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "config"])
+
+    def test_queue_sweep_then_status_sees_fleet(self, tmp_path, capsys):
+        """The acceptance-path shape: queue sweep answered by a worker,
+        then status reports the drained queue and the worker's work."""
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        queue = FileQueue(queue_dir)
+        queue.submit(_spec(entries=8))
+        queue.submit(_spec(entries=32))
+        run_worker(queue_dir, drain=True, lease_seconds=30)
+        backend = FileQueueBackend(queue_dir, timeout=30)
+        runner = SweepRunner(store=ResultStore(backend.store_root),
+                             backend=backend)
+        results = runner.run([_spec(entries=8), _spec(entries=32)])
+        assert all(result.ok for result in results)
+        assert main(["status", str(queue_dir), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["drained"] is True
+        assert snap["store"]["entries"] == 2
+        (worker,) = snap["workers"]
+        assert worker["stats"]["executed"] == 2
