@@ -8,7 +8,7 @@ performance *trajectory*: every PR that touches a hot path can re-run
 the bench and compare against the committed numbers instead of
 asserting speedups in prose.
 
-Two views are measured per workload:
+Three views are measured per workload:
 
 ``engine``
     One plain-binary engine pass over an already-decoded trace —
@@ -22,6 +22,15 @@ Two views are measured per workload:
     decoded-trace cache before every run — the pre-batching per-job
     cost, where each job re-gunzips and re-decodes the file — while the
     ``batch`` row resolves through the warm per-process LRU.
+``grid``
+    A :data:`GRID_POINTS`-geometry iTLB sweep.  The ``scalar``-named
+    row runs one independent :func:`~repro.sim.multi.run_all_schemes`
+    job per geometry (each already on the batched evaluator — this is
+    the pre-grid sweep cost); the ``batch``-named row evaluates every
+    geometry in one shared
+    :func:`~repro.sim.multi.run_all_schemes_grid` pass.  Both rows
+    retire the same summed instruction count, so the speedup ratio is
+    a pure wall-clock ratio.
 
 Timing uses ``time.perf_counter`` around engine execution only (trace
 recording and column decoding happen before the timed region, except in
@@ -41,8 +50,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.config import MachineConfig, default_config
-from repro.sim.multi import run_all_schemes
+from repro.config import MachineConfig, TLBConfig, default_config
+from repro.sim.multi import run_all_schemes, run_all_schemes_grid
 from repro.trace.format import clear_trace_cache, load_trace
 from repro.trace.record import record_trace
 from repro.trace.replay import TraceWorkload
@@ -57,6 +66,9 @@ DEFAULT_WORKLOADS = ("177.mesa", "micro.straight_line",
 
 #: the workload every floor check applies to must be present
 MESA = "177.mesa"
+
+#: iTLB geometries the ``grid`` view sweeps (fully associative entries)
+GRID_POINTS = (1, 2, 4, 8, 16, 32)
 
 
 @dataclass
@@ -182,6 +194,49 @@ def bench_workload(workload: str, trace_path: Union[str, Path], *,
         log(f"{workload:24s} {engine_name:7s} job    "
             f"{retired / best:>12,.0f} instr/s (best of {repeats}: "
             f"{best:.3f}s)")
+
+    # -- grid view: N geometries, independent jobs vs one shared pass ---
+    grid_configs = [config.with_itlb(TLBConfig(entries=entries))
+                    for entries in GRID_POINTS]
+    grid_runs: Dict[str, list] = {}
+
+    def _retired(runs) -> int:
+        return sum(run.plain.shared.instructions
+                   + run.instrumented.shared.instructions + 2 * warmup
+                   for run in runs)
+
+    def run_independent() -> int:
+        runs = [run_all_schemes(resolve(trace_name), member,
+                                instructions=instructions,
+                                warmup=warmup)
+                for member in grid_configs]
+        grid_runs["independent"] = runs
+        return _retired(runs)
+
+    def run_gridded() -> int:
+        runs = run_all_schemes_grid(resolve(trace_name), grid_configs,
+                                    instructions=instructions,
+                                    warmup=warmup)
+        grid_runs["grid"] = runs
+        return _retired(runs)
+
+    for engine_name, fn in (("scalar", run_independent),
+                            ("batch", run_gridded)):
+        best, mean, retired = _time(fn, repeats)
+        records.append(BenchRecord(
+            workload=workload, engine=engine_name, mode="grid",
+            instructions=retired, repeats=repeats, best_seconds=best,
+            mean_seconds=mean, instr_per_sec=retired / best))
+        log(f"{workload:24s} {engine_name:7s} grid   "
+            f"{retired / best:>12,.0f} instr/s (best of {repeats}: "
+            f"{best:.3f}s, {len(GRID_POINTS)} geometries)")
+    for solo, member in zip(grid_runs["independent"], grid_runs["grid"]):
+        if (json.dumps(solo.to_dict(), sort_keys=True)
+                != json.dumps(member.to_dict(), sort_keys=True)):
+            raise RuntimeError(
+                f"bench aborted: grid member diverged from its "
+                f"independent job on {workload} — run the grid "
+                "equivalence suite (tests/test_batch_engine.py)")
     return records
 
 
@@ -192,7 +247,7 @@ def speedups(records: Sequence[BenchRecord]) -> Dict[str, Dict[str, float]]:
     out: Dict[str, Dict[str, float]] = {}
     for workload in {r.workload for r in records}:
         entry = {}
-        for mode in ("engine", "job"):
+        for mode in ("engine", "job", "grid"):
             scalar = by_key.get((workload, mode, "scalar"))
             batch = by_key.get((workload, mode, "batch"))
             if scalar and batch and scalar.instr_per_sec:

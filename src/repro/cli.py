@@ -194,7 +194,8 @@ def _run_sweep(args: argparse.Namespace,
     store = ResultStore(cache_dir)
     runner = SweepRunner(store=store,
                          workers=resolve_workers(args.workers),
-                         backend=backend)
+                         backend=backend,
+                         grid=not args.no_grid)
     results = runner.run(specs)
     stats = runner.last_stats
 
@@ -241,13 +242,17 @@ def _run_sweep(args: argparse.Namespace,
     table.notes.append(stats.describe())
     metrics = runner.last_metrics
     if metrics.get("jobs_measured"):
+        # instr_per_sec is None when the measured simulate time is too
+        # small to divide by (e.g. every job answered from cache)
+        rate = metrics["instr_per_sec"]
+        rate_note = ("n/a" if rate is None else f"{rate:,.0f}")
         table.notes.append(
             f"phases: {metrics['decode_seconds']:.2f}s decode "
             f"({metrics['decode_cold']} cold / "
             f"{metrics['decode_cached']} LRU), "
             f"{metrics['simulate_seconds']:.2f}s simulate, "
             f"{metrics['store_write_seconds']:.2f}s store; "
-            f"{metrics['instr_per_sec']:,.0f} instr/s over "
+            f"{rate_note} instr/s over "
             f"{metrics['wall_seconds']:.2f}s wall")
     if cache_dir:
         table.notes.append(f"cache: {store.describe()}")
@@ -382,8 +387,20 @@ def _run_status(args: argparse.Namespace) -> int:
         print(to_json(snap) if args.json else fleet.render(snap))
         return snap
 
+    def unavailable(exc: Exception) -> int:
+        # the queue directory (or the --metrics-out target) vanished or
+        # became unreadable — render one final human-readable frame
+        # instead of a traceback, and exit non-zero so scripts notice
+        print(f"queue unavailable: {args.queue_dir}: {exc}",
+              file=sys.stderr)
+        sys.stderr.flush()
+        return 1
+
     if not args.watch:
-        one_shot()
+        try:
+            one_shot()
+        except (ReproError, OSError) as exc:
+            return unavailable(exc)
         return 0
     import time as _time
     try:
@@ -391,7 +408,12 @@ def _run_status(args: argparse.Namespace) -> int:
             if not args.json:
                 # clear + home, like watch(1); JSON gets plain frames
                 print("\x1b[2J\x1b[H", end="")
-            one_shot()
+            try:
+                one_shot()
+            except (ReproError, OSError) as exc:
+                # a fleet being torn down mid-watch is an ending, not a
+                # crash: one final frame, then a non-zero exit
+                return unavailable(exc)
             sys.stdout.flush()
             _time.sleep(args.interval)
     except KeyboardInterrupt:
@@ -564,6 +586,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--cache-dir", default=None,
                          help="persist results here and reuse them on "
                               "repeat invocations")
+    p_sweep.add_argument("--no-grid", action="store_true",
+                         help="disable single-pass grid evaluation: run "
+                              "every job as its own decode+simulate pass "
+                              "even when jobs differ only in iTLB "
+                              "geometry (results are bit-identical "
+                              "either way; see docs/performance.md)")
     p_sweep.add_argument("--json", action="store_true",
                          help="machine-readable output (full simulation "
                               "records, including the normalization Base "
@@ -738,9 +766,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench",
         help="measure scalar vs batched replay throughput and write "
              "BENCH_<n>.json (see docs/performance.md)")
-    p_bench.add_argument("-o", "--output", default="BENCH_6.json",
+    p_bench.add_argument("-o", "--output", default="BENCH_7.json",
                          help="JSON report to write "
-                              "(default: BENCH_6.json)")
+                              "(default: BENCH_7.json)")
     p_bench.add_argument("--quick", action="store_true",
                          help="mesa only, smaller window, fewer repeats "
                               "(the CI smoke configuration)")

@@ -336,6 +336,21 @@ class MachineConfig:
     def with_branch(self, branch: BranchPredictorConfig) -> "MachineConfig":
         return dataclasses.replace(self, branch=branch)
 
+    def grid_invariants(self) -> dict:
+        """The part of the machine that must match across grid members.
+
+        A multi-config single-pass run (``repro.cpu.grid``) shares the
+        decoded stream, predictor training, caches, and dTLB between
+        members, so everything that shapes those — core, memory (including
+        page size and iL1 addressing), dTLB, branch — must be identical;
+        only the fields in :data:`GRID_MEMBER_FIELDS` (iTLB geometry and
+        energy accounting) may vary per member.
+        """
+        data = self.to_dict()
+        for field in GRID_MEMBER_FIELDS:
+            data.pop(field, None)
+        return data
+
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -404,6 +419,12 @@ class MachineConfig:
         if self.itlb_two_level is not None:
             lines.insert(12, f"  iTLB (two-level)    {self.itlb_two_level.describe()}")
         return "\n".join(lines)
+
+
+#: :meth:`MachineConfig.to_dict` keys a grid member may vary.  Everything
+#: else shapes the shared stream (caches, predictor, dTLB, page size) and
+#: must be identical across the members of one multi-config pass.
+GRID_MEMBER_FIELDS: tuple[str, ...] = ("itlb", "itlb_two_level", "energy")
 
 
 # ---------------------------------------------------------------------------

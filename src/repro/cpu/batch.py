@@ -120,7 +120,7 @@ class BatchEngine(FastEngine):
         vivt = self.addressing is CacheAddressing.VIVT
         policies = self.policies
         event_policies = self._event_policies
-        base_policy = self._base_policy
+        base_policies = self._base_policies
         predictor_observe = self.predictor.observe
         hier_fetch = self.hier.fetch
         data_access = self._data_access
@@ -207,12 +207,15 @@ class BatchEngine(FastEngine):
                             policy.extra_cycles += (
                                 policy.serial_penalty
                                 + policy.lookup(vpn, reason))
-                    if base_policy is not None and (page_changed
-                                                    or first_fetch):
+                    if base_policies and (page_changed or first_fetch):
+                        # one structural event per trigger (shared-stream
+                        # driven), charged to every member's base policy
                         base_structural += 1
-                        base_policy.extra_cycles += (
-                            base_policy.serial_penalty
-                            + base_policy.lookup(vpn, LookupReason.BRANCH))
+                        for base_policy in base_policies:
+                            base_policy.extra_cycles += (
+                                base_policy.serial_penalty
+                                + base_policy.lookup(
+                                    vpn, LookupReason.BRANCH))
                 first_fetch = False
 
                 # ---- iL1 fetch (with same-block fast path) ----

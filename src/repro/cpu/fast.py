@@ -67,27 +67,19 @@ class FastEngine:
         self.hier = MemoryHierarchy(config.mem)
         self.predictor = FrontEndPredictor(config.branch)
         self.dtlb = TLB(config.dtlb, name="dtlb")
-        defer = self.addressing is CacheAddressing.VIVT
-        names = tuple(schemes) if schemes is not None else tuple(SchemeName)
-        self.policies: List[ITLBPolicy] = build_all_policies(
-            config, self.space.page_table, defer=defer, names=names)
-        self._base_policy: Optional[ITLBPolicy] = None
+        self._defer_policies = self.addressing is CacheAddressing.VIVT
+        self._scheme_names = (tuple(schemes) if schemes is not None
+                              else tuple(SchemeName))
+        #: one entry per grid member; a plain run has exactly one.  All
+        #: members share the decoded stream, predictor, caches, and dTLB —
+        #: only the per-scheme iTLB/policy state is replicated, so the
+        #: flat ``policies`` list drives the hot loop unchanged.
+        self.member_configs: List[MachineConfig] = []
+        self._member_policies: List[List[ITLBPolicy]] = []
+        self.policies: List[ITLBPolicy] = []
+        self._base_policies: List[ITLBPolicy] = []
         self._event_policies: List[ITLBPolicy] = []
-        for policy in self.policies:
-            if policy.name is SchemeName.BASE:
-                self._base_policy = policy
-            else:
-                self._event_policies.append(policy)
-        serial = self.addressing in (CacheAddressing.PIPT,
-                                     CacheAddressing.VIVT)
-        for policy in self.policies:
-            policy.serial_penalty = 1 if serial else 0
-        if (self._base_policy is not None
-                and self.addressing is CacheAddressing.PIPT):
-            # Base PI-PT serializes a lookup before *every* fetch group;
-            # that stall is added in bulk per group, so per-lookup serial
-            # charging must be off to avoid double counting.
-            self._base_policy.serial_penalty = 0
+        self._install_member(config)
 
         # shared counters (measurement window)
         self.shared = SharedStats()
@@ -144,11 +136,50 @@ class FastEngine:
         self._dl1_bulk_hits = 0
         self._base_structural = 0
 
+    # -- member management -------------------------------------------------------
+
+    def _install_member(self, config: MachineConfig) -> None:
+        """Attach one grid member: build its private policy set and splice
+        it into the flat lists the hot loop iterates.  Policy state is
+        strictly additive (each policy mutates only itself), so members
+        never perturb each other or the shared stream."""
+        member = build_all_policies(config, self.space.page_table,
+                                    defer=self._defer_policies,
+                                    names=self._scheme_names)
+        serial = self.addressing in (CacheAddressing.PIPT,
+                                     CacheAddressing.VIVT)
+        base: Optional[ITLBPolicy] = None
+        for policy in member:
+            policy.serial_penalty = 1 if serial else 0
+            if policy.name is SchemeName.BASE:
+                base = policy
+                self._base_policies.append(policy)
+            else:
+                self._event_policies.append(policy)
+        if base is not None and self.addressing is CacheAddressing.PIPT:
+            # Base PI-PT serializes a lookup before *every* fetch group;
+            # that stall is added in bulk per group, so per-lookup serial
+            # charging must be off to avoid double counting.
+            base.serial_penalty = 0
+        self.member_configs.append(config)
+        self._member_policies.append(member)
+        self.policies.extend(member)
+
     # -- public API ------------------------------------------------------------
 
     def run(self, instructions: int, warmup: int = 0) -> EngineResult:
         """Execute ``warmup`` useful instructions unmeasured, then measure
         ``instructions`` useful (non-boundary) instructions."""
+        return self._run_measured(instructions, warmup)[0]
+
+    def run_grid(self, instructions: int, warmup: int = 0) \
+            -> List[EngineResult]:
+        """Like :meth:`run`, but return one result per installed grid
+        member (in installation order)."""
+        return self._run_measured(instructions, warmup)
+
+    def _run_measured(self, instructions: int,
+                      warmup: int = 0) -> List[EngineResult]:
         if warmup:
             self._run_window(warmup)
         self._reset_measurement()
@@ -192,7 +223,7 @@ class FastEngine:
         dstats.hits += self._dtlb_bulk_hits
         self._dtlb_bulk_hits = 0
 
-    def _collect(self, base_cycles: int) -> EngineResult:
+    def _collect(self, base_cycles: int) -> List[EngineResult]:
         shared = self.shared
         shared.il1 = self.hier.il1.stats
         shared.dl1 = self.hier.dl1.stats
@@ -203,30 +234,33 @@ class FastEngine:
         # same-page lookups
         for policy in self.policies:
             policy.note_fetches(shared.instructions)
-        if self._base_policy is not None:
-            base = self._base_policy
-            if self.addressing is not CacheAddressing.VIVT:
-                repeats = shared.instructions - self._base_structural
+        if self.addressing is not CacheAddressing.VIVT:
+            repeats = shared.instructions - self._base_structural
+            for base in self._base_policies:
                 base.note_repeat_hits(repeats)
                 if self.addressing is CacheAddressing.PIPT:
                     base.extra_cycles += shared.fetch_groups
-        results: Dict[SchemeName, SchemeResult] = {}
-        for policy in self.policies:
-            results[policy.name] = SchemeResult(
-                scheme=policy.name,
-                counters=policy.counters,
-                itlb_stats=policy.itlb.stats,
-                extra_cycles=policy.extra_cycles,
-                cycles=base_cycles + policy.extra_cycles,
-            )
-        return EngineResult(
-            program_name=self.program.name,
-            config=self.config,
-            addressing=self.addressing,
-            shared=shared,
-            schemes=results,
-            engine="fast",
-        )
+        collected: List[EngineResult] = []
+        for config, member in zip(self.member_configs,
+                                  self._member_policies):
+            results: Dict[SchemeName, SchemeResult] = {}
+            for policy in member:
+                results[policy.name] = SchemeResult(
+                    scheme=policy.name,
+                    counters=policy.counters,
+                    itlb_stats=policy.itlb.stats,
+                    extra_cycles=policy.extra_cycles,
+                    cycles=base_cycles + policy.extra_cycles,
+                )
+            collected.append(EngineResult(
+                program_name=self.program.name,
+                config=config,
+                addressing=self.addressing,
+                shared=shared,
+                schemes=results,
+                engine="fast",
+            ))
+        return collected
 
     # -- main loop ------------------------------------------------------------
 
@@ -270,12 +304,15 @@ class FastEngine:
                         reason = policy.fetch_reason(seq_boundary)
                         policy.extra_cycles += (policy.serial_penalty
                                                 + policy.lookup(vpn, reason))
-                base = self._base_policy
-                if base is not None and (page_changed or self._first_fetch):
+                if self._base_policies and (page_changed
+                                            or self._first_fetch):
+                    # one structural event per trigger — member-invariant,
+                    # driven by the shared stream, so counted once
                     self._base_structural += 1
-                    base.extra_cycles += (base.serial_penalty
-                                          + base.lookup(
-                                              vpn, LookupReason.BRANCH))
+                    for base in self._base_policies:
+                        base.extra_cycles += (base.serial_penalty
+                                              + base.lookup(
+                                                  vpn, LookupReason.BRANCH))
             self._first_fetch = False
 
             # ---- iL1 fetch (with same-block fast path) ----

@@ -36,6 +36,7 @@ from repro.runner.backends import (
     resolve_backend,
     run_worker,
 )
+from repro.runner.gridspec import GridSpec, expand_units, plan_units
 from repro.runner.jobspec import SPEC_FORMAT, JobSpec
 from repro.runner.store import STORE_FORMAT, ResultStore
 from repro.runner.sweep import (
@@ -49,6 +50,7 @@ __all__ = [
     "ExecutionBackend",
     "FileQueue",
     "FileQueueBackend",
+    "GridSpec",
     "JobResult",
     "JobSpec",
     "PoolBackend",
@@ -60,6 +62,8 @@ __all__ = [
     "SweepRunner",
     "SweepStats",
     "WorkerStats",
+    "expand_units",
+    "plan_units",
     "resolve_backend",
     "resolve_workers",
     "run_worker",

@@ -23,6 +23,7 @@ from repro.runner.backends.base import (
     ExecutionBackend,
     Outcome,
     SweepInterrupted,
+    execute_grid,
     execute_spec,
 )
 from repro.runner.backends.filequeue import (
@@ -74,6 +75,7 @@ __all__ = [
     "SerialBackend",
     "SweepInterrupted",
     "WorkerStats",
+    "execute_grid",
     "execute_spec",
     "resolve_backend",
     "run_worker",

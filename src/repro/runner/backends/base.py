@@ -18,12 +18,14 @@ them before re-raising.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import traceback
 from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro import telemetry
+from repro.runner.gridspec import GridSpec
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
 
@@ -79,6 +81,54 @@ def execute_spec(spec: JobSpec) -> Outcome:
                        seconds=metrics.total_seconds,
                        instructions=metrics.instructions)
         return run, None
+
+
+def execute_grid(grid: GridSpec) -> List[Outcome]:
+    """Run one grid's shared pass in this process; one outcome per
+    member, in member order.
+
+    A failure of the shared pass is every member's failure (the same
+    traceback repeated), mirroring what N independent jobs over the
+    same broken workload would each report.  On success the single
+    collected :class:`JobMetrics` is fanned out per member: the shared
+    wall-clock phases (decode, simulate, total) are split evenly so the
+    members' attributed seconds sum back to the actual pass, while
+    ``instructions``/``passes`` stay whole per member (each member's
+    result really does cover the full window) and the decode counters
+    land on member 0 only (the pass decoded once, not N times).
+    """
+    members = grid.members
+    count = len(members)
+    started = time.perf_counter()
+    with telemetry.collect(workload=grid.workload) as metrics:
+        try:
+            runs = grid.run()
+        except Exception:
+            metrics.total_seconds = time.perf_counter() - started
+            telemetry.emit("job.error", level="error", key=grid.key,
+                           workload=grid.workload, grid_members=count,
+                           seconds=metrics.total_seconds)
+            failure = traceback.format_exc()
+            return [(None, failure) for _ in members]
+        metrics.total_seconds = time.perf_counter() - started
+    outcomes: List[Outcome] = []
+    for position, (member, run) in enumerate(zip(members, runs)):
+        share = dataclasses.replace(
+            metrics,
+            decode_seconds=metrics.decode_seconds / count,
+            simulate_seconds=metrics.simulate_seconds / count,
+            total_seconds=metrics.total_seconds / count,
+            decode_cold=metrics.decode_cold if position == 0 else 0,
+            decode_cached=metrics.decode_cached if position == 0 else 0,
+            grid_members=count,
+        )
+        run.job_metrics = share
+        telemetry.emit("job.done", level="debug", key=member.key,
+                       workload=member.workload, engine=share.engine,
+                       grid_members=count, seconds=share.total_seconds,
+                       instructions=share.instructions)
+        outcomes.append((run, None))
+    return outcomes
 
 
 class ExecutionBackend(ABC):

@@ -59,8 +59,10 @@ from repro.runner.backends.base import (
     ExecutionBackend,
     Outcome,
     SweepInterrupted,
+    execute_grid,
     execute_spec,
 )
+from repro.runner.gridspec import GridSpec, WorkUnit, expand_units
 from repro.runner.jobspec import JobSpec
 from repro.runner.store import ResultStore, atomic_write_text
 
@@ -154,6 +156,22 @@ class FileQueue:
             return False
         payload = {"format": QUEUE_FORMAT, "key": key,
                    "spec": spec.to_dict()}
+        atomic_write_text(self.jobs_dir / f"{key}.json",
+                          json.dumps(payload))
+        return True
+
+    def submit_grid(self, grid: GridSpec) -> bool:
+        """Enqueue a whole shared-pass grid as one job file, named by
+        the grid's transient key (results still land under each
+        member's own store key).  Stale *member* error files are
+        cleared so a failed grid retries."""
+        key = grid.key
+        for member in grid.members:
+            self.clear_error(member.key)
+        if (self.jobs_dir / f"{key}.json").exists() or self.claims(key):
+            return False
+        payload = {"format": QUEUE_FORMAT, "key": key, "kind": "grid",
+                   "spec": grid.to_dict()}
         atomic_write_text(self.jobs_dir / f"{key}.json",
                           json.dumps(payload))
         return True
@@ -341,32 +359,55 @@ class FileQueueBackend(ExecutionBackend):
     def describe(self) -> str:
         return f"queue:{self.root}"
 
-    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+    def execute(self, queue: List[WorkUnit], runner: "SweepRunner",
                 stats: "SweepStats") -> List[Outcome]:
-        stats.parallel = len(queue) > 1
+        members = expand_units(queue)
+        stats.parallel = len(members) > 1
         fq = FileQueue(self.root)
         store = ResultStore(fq.store_dir)
         outcome_for: Dict[str, Outcome] = {}
         pending: Dict[str, JobSpec] = {}
-        for spec in queue:
-            run = store.get(spec)  # a worker may already have answered
-            if run is not None:
-                outcome_for[spec.key] = (run, None)
+        for unit in queue:
+            if isinstance(unit, GridSpec):
+                # per-member pre-probe: a worker (or concurrent sweep)
+                # may have answered some members already; the grid job
+                # still runs as one unit, overwrite=False keeps the
+                # existing (identical) entries
+                missing = []
+                for member in unit.members:
+                    run = store.get(member)
+                    if run is not None:
+                        outcome_for[member.key] = (run, None)
+                    else:
+                        missing.append(member)
+                if not missing:
+                    continue
+                fq.submit_grid(unit)
+                telemetry.emit("queue.submit", level="debug",
+                               key=unit.key, workload=unit.workload,
+                               grid_members=len(unit.members),
+                               queue=str(self.root))
+                for member in missing:
+                    pending[member.key] = member
                 continue
-            fq.submit(spec)
-            telemetry.emit("queue.submit", level="debug", key=spec.key,
-                           workload=spec.workload, queue=str(self.root))
-            pending[spec.key] = spec
+            run = store.get(unit)  # a worker may already have answered
+            if run is not None:
+                outcome_for[unit.key] = (run, None)
+                continue
+            fq.submit(unit)
+            telemetry.emit("queue.submit", level="debug", key=unit.key,
+                           workload=unit.workload, queue=str(self.root))
+            pending[unit.key] = unit
         telemetry.emit("queue.batch", queue=str(self.root),
                        submitted=len(pending),
                        answered=len(outcome_for))
         try:
             self._wait(fq, store, pending, outcome_for)
         except KeyboardInterrupt:
-            done = [(spec, outcome_for[spec.key]) for spec in queue
+            done = [(spec, outcome_for[spec.key]) for spec in members
                     if spec.key in outcome_for]
             raise SweepInterrupted(done) from None
-        return [outcome_for[spec.key] for spec in queue]
+        return [outcome_for[spec.key] for spec in members]
 
     def _wait(self, fq: FileQueue, store: ResultStore,
               pending: Dict[str, JobSpec],
@@ -519,9 +560,10 @@ def run_worker(root: Union[str, Path], *,
     return stats
 
 
-def _parse_claim(claim: Claim) -> JobSpec:
-    """The spec a claim holds; raises :class:`ConfigError` on any
-    malformed, foreign-format, or tampered payload."""
+def _parse_claim(claim: Claim) -> Union[JobSpec, GridSpec]:
+    """The spec (or grid of specs) a claim holds; raises
+    :class:`ConfigError` on any malformed, foreign-format, or tampered
+    payload."""
     payload = claim.payload
     if not isinstance(payload, dict):
         raise ConfigError("job file is not a JSON object")
@@ -529,7 +571,11 @@ def _parse_claim(claim: Claim) -> JobSpec:
         raise ConfigError(
             f"unsupported queue job format {payload.get('format')!r} "
             f"(this worker speaks format {QUEUE_FORMAT})")
-    spec = JobSpec.from_dict(payload["spec"])
+    if payload.get("kind") == "grid":
+        spec: Union[JobSpec, GridSpec] = GridSpec.from_dict(
+            payload["spec"])
+    else:
+        spec = JobSpec.from_dict(payload["spec"])
     if payload.get("key") != spec.key:
         raise ConfigError(
             "job file key does not match its spec (tampered, renamed, "
@@ -553,6 +599,10 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
         emit(f"bad job file {claim.key[:16]} -> error recorded")
         telemetry.emit("worker.bad_job", level="error", owner=owner,
                        key=claim.key)
+        return
+    if isinstance(spec, GridSpec):
+        _process_grid_claim(queue, store, claim, spec, owner,
+                            lease_seconds, stats, emit, touch)
         return
     if store.get(spec) is not None:
         # answered while queued (reclaimed job whose first owner died
@@ -585,4 +635,56 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
              f"{error.strip().splitlines()[-1] if error else '?'}")
         telemetry.emit("worker.error", level="error", owner=owner,
                        key=claim.key, workload=spec.workload)
+    claim.release()
+
+
+def _process_grid_claim(queue: FileQueue, store: ResultStore,
+                        claim: Claim, grid: GridSpec, owner: str,
+                        lease_seconds: float, stats: WorkerStats,
+                        emit: Callable[[str], None],
+                        touch: Optional[Callable[[], None]]) -> None:
+    """Execute one claimed grid: one shared pass, each member stored
+    under its own key (errors likewise per member, so the submitter's
+    per-member waiting protocol needs no grid awareness)."""
+    if all(store.get(member) is not None for member in grid.members):
+        claim.release()
+        stats.cached += 1
+        emit(f"cached {claim.key[:16]} {grid.describe()}")
+        telemetry.emit("worker.cached", owner=owner, key=claim.key,
+                       workload=grid.workload,
+                       grid_members=len(grid.members))
+        return
+    emit(f"run    {claim.key[:16]} {grid.describe()}")
+    with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
+        outcomes = execute_grid(grid)
+    failed = 0
+    seconds = None
+    for member, (run, error) in zip(grid.members, outcomes):
+        if run is not None:
+            # overwrite=False: first writer wins, identical entries
+            store.put(member, run, overwrite=False)
+            queue.clear_error(member.key)
+            job = getattr(run, "job_metrics", None)
+            if job is not None:
+                seconds = (seconds or 0.0) + job.total_seconds
+        else:
+            queue.write_error(member.key, error or "unknown failure",
+                              owner)
+            failed += 1
+    if failed:
+        stats.failed += 1
+        first_error = next((e for _, e in outcomes if e), "?")
+        emit(f"FAILED {claim.key[:16]}: "
+             f"{first_error.strip().splitlines()[-1]}")
+        telemetry.emit("worker.error", level="error", owner=owner,
+                       key=claim.key, workload=grid.workload,
+                       grid_members=len(grid.members))
+    else:
+        stats.executed += 1
+        emit(f"done   {claim.key[:16]}")
+        telemetry.emit("worker.done", owner=owner, key=claim.key,
+                       workload=grid.workload,
+                       grid_members=len(grid.members),
+                       seconds=(None if seconds is None
+                                else round(seconds, 6)))
     claim.release()

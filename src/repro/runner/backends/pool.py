@@ -9,14 +9,20 @@ fallback chain is unchanged:
 * pools unavailable at all (no semaphores: ``OSError`` /
   ``NotImplementedError``) — run serially in-process;
 * pool broke mid-map (a worker OOM/SIGKILLed raises
-  ``BrokenProcessPool``) — quarantine each remaining job in its own
+  ``BrokenProcessPool``) — quarantine each remaining unit in its own
   disposable single-worker pool so a fatal job costs one private worker
   and one ``JobResult.error``, never the parent or the batch;
-* fewer than two pool-eligible jobs — parallelism cannot pay, go serial.
+* fewer than two pool-eligible units — parallelism cannot pay, go serial.
+
+Units may be single :class:`JobSpec` jobs or :class:`GridSpec` shared
+passes; a grid crosses the pipe as one payload and its member outcomes
+come back flattened (see ``_execute_payload``), so the backend still
+returns one outcome per *member* in expansion order.
 
 Custom workload registrations live only in the parent process, so under
 a non-``fork`` start method their jobs execute in-process while builtin
-workloads still go to the pool.
+workloads still go to the pool (grids are always pool-eligible: their
+``trace:``/``import:`` workloads resolve in any process).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from repro.runner.backends.base import (
     Outcome,
     SweepInterrupted,
 )
-from repro.runner.jobspec import JobSpec
+from repro.runner.gridspec import GridSpec, WorkUnit, expand_units
 from repro.sim.multi import CombinedRun
 from repro.telemetry.metrics import JobMetrics
 
@@ -57,12 +63,27 @@ def _reconstruct(payload: dict) -> CombinedRun:
     return run
 
 
+def _unit_outcomes(unit: WorkUnit, ok: bool, payload: dict
+                   ) -> List[Outcome]:
+    """Expand one unit's raw wire result into per-member outcomes."""
+    if isinstance(unit, GridSpec):
+        if not ok:  # the grid itself failed to parse/build remotely
+            error = payload["traceback"]
+            return [(None, error) for _ in unit.members]
+        return [((_reconstruct(member_payload), None) if member_ok
+                 else (None, member_payload["traceback"]))
+                for member_ok, member_payload in payload["__grid__"]]
+    if ok:
+        return [(_reconstruct(payload), None)]
+    return [(None, payload["traceback"])]
+
+
 class PoolBackend(ExecutionBackend):
-    """Fan jobs out over a ``ProcessPoolExecutor``."""
+    """Fan work units out over a ``ProcessPoolExecutor``."""
 
     name = "pool"
 
-    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+    def execute(self, queue: List[WorkUnit], runner: "SweepRunner",
                 stats: "SweepStats") -> List[Outcome]:
         from repro.runner.backends.serial import SerialBackend
         from repro.runner.sweep import _MapInterrupted
@@ -78,13 +99,13 @@ class PoolBackend(ExecutionBackend):
             local: Set[int] = set()
         else:
             from repro.workloads.registry import is_builtin
-            local = {i for i, spec in enumerate(queue)
-                     if not is_builtin(spec.workload)}
-        remote = [spec for i, spec in enumerate(queue) if i not in local]
+            local = {i for i, unit in enumerate(queue)
+                     if not is_builtin(unit.workload)}
+        remote = [unit for i, unit in enumerate(queue) if i not in local]
         if len(remote) < 2:
             return SerialBackend().execute(queue, runner, stats)
 
-        payloads = [spec.to_dict() for spec in remote]
+        payloads = [unit.to_dict() for unit in remote]
         try:
             raw = runner._map_in_pool(payloads,
                                       min(runner.workers, len(remote)))
@@ -92,10 +113,11 @@ class PoolBackend(ExecutionBackend):
             # Ctrl-C mid-map: _map_in_pool already cancelled the pending
             # futures; pair what did finish with its specs (results come
             # back in submission order, so the finished prefix lines up)
-            completed = [
-                (spec, ((_reconstruct(payload), None) if ok
-                        else (None, payload["traceback"])))
-                for spec, (ok, payload) in zip(remote, exc.raw)]
+            completed = []
+            for unit, (ok, payload) in zip(remote, exc.raw):
+                members = expand_units([unit])
+                completed.extend(zip(members,
+                                     _unit_outcomes(unit, ok, payload)))
             raise SweepInterrupted(completed) from None
         except (OSError, NotImplementedError):
             # restricted environments (no /dev/shm, no sem_open): pools
@@ -110,7 +132,7 @@ class PoolBackend(ExecutionBackend):
             # BrokenProcessPool, never as a per-job exception
             # (_execute_payload catches those).  One of the jobs is
             # probably fatal, so do NOT pull the queue into this
-            # process: quarantine each job in its own single-worker
+            # process: quarantine each unit in its own single-worker
             # pool instead, so a re-offending job takes down only its
             # private worker and becomes that one JobResult's error
             # while the rest of the sweep completes.
@@ -118,38 +140,50 @@ class PoolBackend(ExecutionBackend):
             telemetry.emit("pool.broken", level="error",
                            jobs=len(queue))
             return self._run_quarantined(queue, local, runner)
-        remote_outcomes = iter(
-            (_reconstruct(payload), None) if ok
-            else (None, payload["traceback"])
-            for ok, payload in raw)
-        return [runner._run_one(spec) if i in local
-                else next(remote_outcomes)
-                for i, spec in enumerate(queue)]
+        remote_raw = iter(raw)
+        outcomes: List[Outcome] = []
+        for i, unit in enumerate(queue):
+            if i in local:
+                if isinstance(unit, GridSpec):
+                    outcomes.extend(runner._run_grid(unit))
+                else:
+                    outcomes.append(runner._run_one(unit))
+            else:
+                ok, payload = next(remote_raw)
+                outcomes.extend(_unit_outcomes(unit, ok, payload))
+        return outcomes
 
     @staticmethod
-    def _run_quarantined(queue: List[JobSpec], local: Set[int],
+    def _run_quarantined(queue: List[WorkUnit], local: Set[int],
                          runner: "SweepRunner") -> List[Outcome]:
         """Recovery path after a broken pool: one disposable
-        single-worker pool per remaining job."""
+        single-worker pool per remaining unit."""
         outcomes: List[Outcome] = []
-        for i, spec in enumerate(queue):
+        for i, unit in enumerate(queue):
+            members = expand_units([unit])
             if i in local:
-                outcomes.append(runner._run_one(spec))
+                if isinstance(unit, GridSpec):
+                    outcomes.extend(runner._run_grid(unit))
+                else:
+                    outcomes.append(runner._run_one(unit))
                 continue
             try:
-                ok, payload = runner._apply_in_pool(spec.to_dict())
+                ok, payload = runner._apply_in_pool(unit.to_dict())
             except (OSError, NotImplementedError):
                 # pools just became unavailable (not a job death):
                 # in-process is the only option left
-                outcomes.append(runner._run_one(spec))
+                if isinstance(unit, GridSpec):
+                    outcomes.extend(runner._run_grid(unit))
+                else:
+                    outcomes.append(runner._run_one(unit))
                 continue
             except Exception:
-                outcomes.append((None, (
+                error = (
                     "worker process died while running this job "
                     "(killed by the OS — out of memory?); the job was "
                     "quarantined so the rest of the sweep could "
-                    f"complete\n{traceback.format_exc()}")))
+                    f"complete\n{traceback.format_exc()}")
+                outcomes.extend((None, error) for _ in members)
                 continue
-            outcomes.append((_reconstruct(payload), None) if ok
-                            else (None, payload["traceback"]))
+            outcomes.extend(_unit_outcomes(unit, ok, payload))
         return outcomes

@@ -14,26 +14,34 @@ from repro.runner.backends.base import (
     Outcome,
     SweepInterrupted,
 )
-from repro.runner.jobspec import JobSpec
+from repro.runner.gridspec import GridSpec, WorkUnit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runner.sweep import SweepRunner, SweepStats
 
 
 class SerialBackend(ExecutionBackend):
-    """Run each job in this process, one after another."""
+    """Run each unit in this process, one after another."""
 
     name = "serial"
 
-    def execute(self, queue: List[JobSpec], runner: "SweepRunner",
+    def execute(self, queue: List[WorkUnit], runner: "SweepRunner",
                 stats: "SweepStats") -> List[Outcome]:
         stats.parallel = False
         done: List[Outcome] = []
+        finished: List = []  # member specs matching `done`, for ^C
         try:
-            for spec in queue:
-                done.append(runner._run_one(spec))
+            for unit in queue:
+                if isinstance(unit, GridSpec):
+                    done.extend(runner._run_grid(unit))
+                    finished.extend(unit.members)
+                else:
+                    done.append(runner._run_one(unit))
+                    finished.append(unit)
         except KeyboardInterrupt:
             # _run_one captures Exception only, so ^C lands here; hand
-            # the finished prefix to the runner for persistence
-            raise SweepInterrupted(list(zip(queue, done))) from None
+            # the finished prefix to the runner for persistence (a grid
+            # interrupted mid-pass contributes nothing — its members
+            # simply re-run next time)
+            raise SweepInterrupted(list(zip(finished, done))) from None
         return done

@@ -45,8 +45,10 @@ from repro import telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     SweepInterrupted,
+    execute_grid,
     execute_spec,
 )
+from repro.runner.gridspec import GridSpec, expand_units, plan_units
 from repro.runner.jobspec import JobSpec
 from repro.runner.store import ResultStore
 from repro.sim.multi import CombinedRun
@@ -76,6 +78,24 @@ def _execute_payload(payload: dict) -> Tuple[bool, dict]:
     invisible to everything that doesn't look for it.
     """
     telemetry.configure_from_env()
+    if payload.get("kind") == "grid":
+        # a whole grid crosses as one payload; the member outcomes ride
+        # back under a "__grid__" key, each in the single-job wire shape
+        try:
+            grid = GridSpec.from_dict(payload)
+        except Exception:
+            return False, {"traceback": traceback.format_exc()}
+        raw: List[Tuple[bool, dict]] = []
+        for run, error in execute_grid(grid):
+            if run is None:
+                raw.append((False, {"traceback": error}))
+            else:
+                data = run.to_dict()
+                metrics = getattr(run, "job_metrics", None)
+                if metrics is not None:
+                    data["__metrics__"] = metrics.to_dict()
+                raw.append((True, data))
+        return True, {"__grid__": raw}
     try:
         spec = JobSpec.from_dict(payload)
     except Exception:
@@ -139,6 +159,8 @@ class SweepStats:
     deduplicated: int = 0
     parallel: bool = False
     backend: str = "serial"  #: which execution backend ran the misses
+    grids: int = 0  #: shared passes the planner formed (0 = none)
+    grid_members: int = 0  #: jobs that rode on those shared passes
 
     def describe(self) -> str:
         mode = "parallel" if self.parallel else "serial"
@@ -146,9 +168,11 @@ class SweepStats:
             mode = f"{mode} via {self.backend}"
         dedup = (f", {self.deduplicated} duplicate(s) shared"
                  if self.deduplicated else "")
+        grids = (f", {self.grid_members} jobs in {self.grids} shared "
+                 f"pass(es)" if self.grids else "")
         return (f"{self.jobs} jobs: {self.cached} from cache, "
                 f"{self.simulated} simulated ({mode}), "
-                f"{self.failed} failed{dedup}")
+                f"{self.failed} failed{dedup}{grids}")
 
 
 class SweepRunner:
@@ -164,14 +188,18 @@ class SweepRunner:
 
     def __init__(self, store: Optional[ResultStore] = None,
                  workers: int = 1,
-                 backend: Union[str, ExecutionBackend, None] = None
-                 ) -> None:
+                 backend: Union[str, ExecutionBackend, None] = None,
+                 grid: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         from repro.runner.backends import resolve_backend
         self.store = store if store is not None else ResultStore()
         self.workers = workers
         self.backend = resolve_backend(backend)
+        #: plan cache-missing specs into shared-pass grids when their
+        #: workload and engine-invariant fields match (bit-identical
+        #: results either way; ``False`` forces one pass per job)
+        self.grid = grid
         self.last_stats = SweepStats()
         #: fleet-level phase aggregate of the last run (see
         #: :func:`repro.telemetry.metrics.aggregate`); kept off
@@ -218,13 +246,23 @@ class SweepRunner:
             indices_for[key] = [i]
             queue.append(spec)
 
+        # partition the misses into shared-pass grids where the specs
+        # allow it; the expanded member list replaces `queue` as the
+        # order outcomes come back in (same key set either way)
+        units = plan_units(queue) if self.grid else list(queue)
+        expanded = expand_units(units)
+        for unit in units:
+            if isinstance(unit, GridSpec):
+                stats.grids += 1
+                stats.grid_members += len(unit.members)
+
         backend = self._backend()
         stats.backend = backend.name
         telemetry.emit("sweep.start", jobs=len(specs),
                        cached=stats.cached, queued=len(queue),
-                       backend=backend.name)
+                       grids=stats.grids, backend=backend.name)
         try:
-            outcomes = backend.execute(queue, self, stats)
+            outcomes = backend.execute(units, self, stats)
         except SweepInterrupted as exc:
             # keep what finished: a re-run answers those from the cache
             for spec, (run, error) in exc.completed:
@@ -239,7 +277,7 @@ class SweepRunner:
                            failed=stats.failed)
             raise
 
-        for spec, (run, error) in zip(queue, outcomes):
+        for spec, (run, error) in zip(expanded, outcomes):
             metrics = None if run is None else getattr(
                 run, "job_metrics", None)
             if run is not None:
@@ -276,6 +314,11 @@ class SweepRunner:
     def _run_one(spec: JobSpec
                  ) -> Tuple[Optional[CombinedRun], Optional[str]]:
         return execute_spec(spec)
+
+    @staticmethod
+    def _run_grid(grid: GridSpec
+                  ) -> List[Tuple[Optional[CombinedRun], Optional[str]]]:
+        return execute_grid(grid)
 
     # -- process-pool seams --------------------------------------------
     #

@@ -12,11 +12,11 @@ work — the overhead the paper calls negligible, measured here).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import MachineConfig, SchemeName
 from repro.cpu.results import EngineResult, SchemeResult, SharedStats
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, run_program_grid
 from repro.workloads.synthetic import SyntheticWorkload
 
 PLAIN_SCHEMES = (SchemeName.BASE, SchemeName.HOA, SchemeName.OPT)
@@ -175,3 +175,56 @@ def run_all_schemes(
         plain=plain_result,
         instrumented=instr_result,
     )
+
+
+def run_all_schemes_grid(
+    workload: SyntheticWorkload,
+    configs: Sequence[MachineConfig],
+    *,
+    instructions: int,
+    warmup: int = 0,
+    schemes: Optional[Sequence[SchemeName]] = None,
+    engine: str = "fast",
+) -> List[CombinedRun]:
+    """:func:`run_all_schemes` for a whole config grid in shared passes.
+
+    One plain-binary pass (and, when instrumented schemes are selected,
+    one instrumented-binary pass) scores every member of ``configs``
+    side by side via :func:`~repro.sim.simulator.run_program_grid`.
+    Returns one :class:`CombinedRun` per config, in order, each
+    bit-identical to an independent :func:`run_all_schemes` call —
+    including the instrumented-aliases-plain object identity when no
+    instrumented scheme is requested.
+    """
+    selected = tuple(schemes) if schemes is not None else tuple(SchemeName)
+    plain_set = tuple(s for s in selected if not s.needs_instrumented_binary)
+    instr_set = tuple(s for s in selected if s.needs_instrumented_binary)
+    page_bytes = configs[0].mem.page_bytes if configs else 0
+
+    plain_program = workload.link(page_bytes=page_bytes, instrumented=False)
+    plain_results = run_program_grid(
+        plain_program, configs, instructions=instructions, warmup=warmup,
+        schemes=plain_set or (SchemeName.BASE,), engine=engine)
+
+    if instr_set:
+        instr_program = workload.link(page_bytes=page_bytes,
+                                      instrumented=True)
+        # Base rides along on the instrumented binary purely as the
+        # same-binary normalization reference (see CombinedRun._base_for)
+        instr_results = run_program_grid(
+            instr_program, configs, instructions=instructions,
+            warmup=warmup, schemes=instr_set + (SchemeName.BASE,),
+            engine=engine)
+    else:
+        instr_results = plain_results
+
+    return [
+        CombinedRun(
+            workload_name=workload.profile.name,
+            config=config,
+            plain=plain,
+            instrumented=instr,
+        )
+        for config, plain, instr in zip(configs, plain_results,
+                                        instr_results)
+    ]

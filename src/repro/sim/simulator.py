@@ -13,12 +13,13 @@ call.  Energy attachment applies the paper's accounting (Section 4.3.1):
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro import telemetry
 from repro.config import MachineConfig, SchemeName, default_config
 from repro.cpu.batch import BatchEngine
 from repro.cpu.fast import FastEngine
+from repro.cpu.grid import MultiConfigEngine
 from repro.cpu.ooo import OutOfOrderEngine
 from repro.cpu.results import EngineResult
 from repro.energy.accounting import itlb_energy_nj
@@ -61,6 +62,45 @@ def attach_energy(result: EngineResult,
                 btb_compares=counters.btb_compares,
             )
     return result
+
+
+def run_program_grid(program: Program, configs: Sequence[MachineConfig], *,
+                     instructions: int, warmup: int = 0,
+                     schemes: Optional[Sequence[SchemeName]] = None,
+                     engine: str = "fast") -> List[EngineResult]:
+    """Simulate ``program`` once and score every config in ``configs``.
+
+    The grid evaluator is replay-only (it rides on the batch engine's
+    decoded columns), so ``engine`` must be ``"fast"`` or ``"batch"``
+    and ``program`` must carry a decoded segment.  Returns one energy-
+    attached result per config, in order, each bit-identical to the
+    result :meth:`Simulator.run_program` would produce for that config
+    alone.
+    """
+    if engine not in ("fast", "batch"):
+        raise ConfigError(
+            f"grid evaluation batches one decoded pass; engine "
+            f"'{engine}' cannot share a pass across configs")
+    if not configs:
+        raise ConfigError("a config grid needs at least one member")
+    if program.page_bytes != configs[0].mem.page_bytes:
+        raise ConfigError(
+            f"program linked for {program.page_bytes}-byte pages but "
+            f"machine uses {configs[0].mem.page_bytes}-byte pages"
+        )
+    started = time.perf_counter()
+    results = MultiConfigEngine(program, configs,
+                                schemes=schemes).run_grid(instructions,
+                                                          warmup)
+    elapsed = time.perf_counter() - started
+    retired = results[0].shared.instructions
+    telemetry.note_engine("batch", elapsed, retired)
+    telemetry.emit("engine.grid", level="debug", workload=program.name,
+                   evaluator="batch", members=len(configs),
+                   seconds=round(elapsed, 6), instructions=retired)
+    for result in results:
+        attach_energy(result, CactiLikeModel(result.config.energy))
+    return results
 
 
 class Simulator:

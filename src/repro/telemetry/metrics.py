@@ -24,10 +24,22 @@ Jobs execute one at a time per process (backends parallelize across
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
+
+
+def _finite_rate(instructions: int, seconds: float) -> Optional[float]:
+    """``instructions / seconds`` when that is a finite number; ``None``
+    (JSON ``null``) when the rate is undefined — no measured time, or a
+    denominator so small the quotient overflows to ``inf``.  ``0.0``
+    only for the genuinely-idle case (nothing retired, no time)."""
+    if seconds <= 0.0:
+        return 0.0 if instructions == 0 else None
+    rate = instructions / seconds
+    return rate if math.isfinite(rate) else None
 
 
 @dataclass
@@ -51,14 +63,20 @@ class JobMetrics:
     #: necessarily excludes the final disk rename of its own write.
     store_write_seconds: Optional[float] = None
     total_seconds: float = 0.0  #: whole ``execute_spec`` wall clock
+    #: members in the shared grid pass this job rode on (0 = a plain
+    #: single-config job).  Grid members carry their 1/N share of the
+    #: shared wall-clock phases but their full instruction count, so a
+    #: member's throughput reads as the grid's *effective* throughput.
+    grid_members: int = 0
 
     @property
-    def instr_per_sec(self) -> float:
-        """Engine throughput (retired instructions per simulate
-        second)."""
-        if self.simulate_seconds <= 0.0:
-            return 0.0
-        return self.instructions / self.simulate_seconds
+    def instr_per_sec(self) -> Optional[float]:
+        """Engine throughput (retired instructions per simulate second);
+        ``None`` when undefined — instructions retired in zero (or
+        unrepresentably small) measured time.  Strict-JSON rule: the
+        undefined case must serialize as ``null`` natively, never as
+        ``inf`` for a downstream sanitizer to catch."""
+        return _finite_rate(self.instructions, self.simulate_seconds)
 
     def to_dict(self) -> dict:
         data = dataclasses.asdict(self)
@@ -146,7 +164,6 @@ def aggregate(all_metrics: Iterable[Optional[JobMetrics]],
         out["simulate_seconds"] += metrics.simulate_seconds
         out["store_write_seconds"] += metrics.store_write_seconds or 0.0
         out["instructions"] += metrics.instructions
-    out["instr_per_sec"] = (
-        out["instructions"] / out["simulate_seconds"]
-        if out["simulate_seconds"] > 0 else 0.0)
+    out["instr_per_sec"] = _finite_rate(out["instructions"],
+                                        out["simulate_seconds"])
     return out

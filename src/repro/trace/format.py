@@ -675,8 +675,27 @@ def file_digest(path: Union[str, Path]) -> str:
 #: how many decoded traces one process keeps alive at once.  Sweeps
 #: typically iterate configs over a handful of traces; the decoded form
 #: (instructions + records + flat columns) is a few MB per trace, so a
-#: small LRU captures the reuse without unbounded growth.
+#: small LRU captures the reuse without unbounded growth.  The default
+#: can be overridden per process with ``REPRO_TRACE_LRU_CAPACITY``
+#: (pool and queue workers inherit the parent's environment, so one
+#: export sizes the whole fleet).
 TRACE_CACHE_CAPACITY = 8
+
+
+def trace_cache_capacity() -> int:
+    """The effective LRU capacity: ``$REPRO_TRACE_LRU_CAPACITY`` when
+    set to a positive integer, else :data:`TRACE_CACHE_CAPACITY`.
+    Unparsable or non-positive values are ignored rather than fatal —
+    a misspelled environment variable must not fail every sweep."""
+    raw = os.environ.get("REPRO_TRACE_LRU_CAPACITY")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return TRACE_CACHE_CAPACITY
+        if value > 0:
+            return value
+    return TRACE_CACHE_CAPACITY
 
 #: (realpath, sha256) -> decoded TraceFile, most recently used last.
 #: Keyed by *content*, not just path: an edited trace digests
@@ -713,8 +732,11 @@ def load_trace(path: Union[str, Path], *, use_cache: bool = True
     emit("trace.decode", level="debug", path=str(path),
          seconds=round(elapsed, 6), segments=len(trace.segments))
     _TRACE_LRU[key] = trace
-    while len(_TRACE_LRU) > TRACE_CACHE_CAPACITY:
-        _TRACE_LRU.popitem(last=False)
+    capacity = trace_cache_capacity()
+    while len(_TRACE_LRU) > capacity:
+        evicted_key, _ = _TRACE_LRU.popitem(last=False)
+        emit("trace.lru_evict", level="debug", path=evicted_key[0],
+             capacity=capacity)
     return trace
 
 

@@ -12,15 +12,24 @@ foreign fixtures — serially and through a two-worker sweep.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.config import CacheAddressing, SchemeName, default_config
+import repro
+from repro.config import (
+    CacheAddressing,
+    SchemeName,
+    TLBConfig,
+    default_config,
+)
 from repro.cpu.batch import BatchEngine
 from repro.cpu.fast import FastEngine
 from repro.errors import ConfigError, TraceError
-from repro.runner import JobSpec, ResultStore, SweepRunner
+from repro.runner import FileQueueBackend, JobSpec, ResultStore, SweepRunner
 from repro.sim.multi import run_all_schemes
 from repro.sim.simulator import Simulator
 from repro.trace.format import (
@@ -164,6 +173,128 @@ class TestSweepEquivalence:
                 == _canon(results["scalar"].run))
 
 
+#: the member geometries every grid-equivalence case sweeps
+GRID_ENTRIES = (1, 8, 32)
+
+
+def _grid_specs(name: str, instructions: int, warmup: int):
+    return [JobSpec(workload=name,
+                    config=default_config().with_itlb(
+                        TLBConfig(entries=entries)),
+                    instructions=instructions, warmup=warmup)
+            for entries in GRID_ENTRIES]
+
+
+def _assert_grid_identical(name, instructions, warmup, tmp_path,
+                           **runner_kwargs):
+    """A gridded sweep must byte-match per-member independent jobs —
+    results *and* store entries (same content under the same keys)."""
+    specs = _grid_specs(name, instructions, warmup)
+    solo = SweepRunner(store=ResultStore(tmp_path / "solo"), grid=False)
+    solo_results = solo.run(specs)
+    assert solo.last_stats.grids == 0
+    gridded = SweepRunner(store=ResultStore(tmp_path / "grid"),
+                          **runner_kwargs)
+    grid_results = gridded.run(specs)
+    assert gridded.last_stats.grids >= 1
+    assert gridded.last_stats.grid_members == len(specs)
+    for one, many in zip(solo_results, grid_results):
+        assert one.ok, one.error
+        assert many.ok, many.error
+        assert many.spec.key == one.spec.key
+        assert _canon(one.run) == _canon(many.run)
+    # every member lands under its unchanged content-addressed key
+    assert (sorted(p.name for p in (tmp_path / "solo").glob("*.json"))
+            == sorted(p.name for p in (tmp_path / "grid").glob("*.json")))
+
+
+class TestGridEquivalence:
+    """One shared decode/predictor/iL1 pass over N iTLB geometries vs N
+    independent jobs, through every backend."""
+
+    @pytest.mark.parametrize("name", [f"micro.{m}"
+                                      for m in MICROBENCH_NAMES])
+    def test_micro_workloads(self, micro_traces, name, tmp_path):
+        _assert_grid_identical(f"trace:{micro_traces[name]}",
+                               MICRO_INSTRUCTIONS, MICRO_WARMUP,
+                               tmp_path)
+
+    def test_mesa_golden_trace(self, tmp_path):
+        _assert_grid_identical(f"trace:{GOLDEN_MESA}",
+                               MESA_INSTRUCTIONS, MESA_WARMUP, tmp_path)
+
+    @pytest.mark.parametrize("name", [
+        f"import:eio:{FIXTURES / 'twopage.eio.txt'}",
+        f"import:gem5:{FIXTURES / 'loopcall.gem5.txt.gz'}",
+    ], ids=["eio", "gem5"])
+    def test_imported_fixtures(self, name, tmp_path):
+        _assert_grid_identical(name, 600, 100, tmp_path)
+
+    def test_two_grids_through_pool_backend(self, tmp_path):
+        """Two grids cross the pool wire as two payloads and come back
+        expanded to one outcome per member, all byte-identical."""
+        mesa = _grid_specs(f"trace:{GOLDEN_MESA}",
+                           MESA_INSTRUCTIONS, MESA_WARMUP)
+        eio = _grid_specs(f"import:eio:{FIXTURES / 'twopage.eio.txt'}",
+                          600, 100)
+        specs = mesa + eio
+        solo = SweepRunner(store=ResultStore(tmp_path / "solo"),
+                           grid=False)
+        solo_results = solo.run(specs)
+        pooled = SweepRunner(store=ResultStore(tmp_path / "grid"),
+                             workers=2, backend="pool")
+        pool_results = pooled.run(specs)
+        assert pooled.last_stats.grids == 2
+        assert pooled.last_stats.grid_members == len(specs)
+        for one, many in zip(solo_results, pool_results):
+            assert one.ok and many.ok, (one.error, many.error)
+            assert _canon(one.run) == _canon(many.run)
+        assert (sorted(p.name
+                       for p in (tmp_path / "solo").glob("*.json"))
+                == sorted(p.name
+                          for p in (tmp_path / "grid").glob("*.json")))
+
+    def test_grid_through_real_worker_queue(self, tmp_path):
+        """The full wire protocol, no stubs: a grid job file drained by
+        two real ``repro worker`` processes, every member stored under
+        its own key, byte-identical to independent serial jobs."""
+        specs = _grid_specs(f"trace:{GOLDEN_MESA}",
+                            MESA_INSTRUCTIONS, MESA_WARMUP)
+        solo = SweepRunner(store=ResultStore(tmp_path / "solo"),
+                           grid=False)
+        solo_results = solo.run(specs)
+
+        root = tmp_path / "q"
+        src = Path(repro.__file__).parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" \
+            + env.get("PYTHONPATH", "")
+        workers = [subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", str(root),
+             "--poll", "0.05", "--idle-exit", "60"],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL) for _ in range(2)]
+        try:
+            backend = FileQueueBackend(root, poll_seconds=0.05,
+                                       timeout=300)
+            runner = SweepRunner(store=ResultStore(backend.store_root),
+                                 backend=backend)
+            results = runner.run(specs)
+            assert runner.last_stats.grids == 1
+            assert runner.last_stats.grid_members == len(specs)
+            for one, many in zip(solo_results, results):
+                assert many.ok, many.error
+                assert _canon(one.run) == _canon(many.run)
+            # one store entry per member, none left enqueued
+            assert (len(list(backend.store_root.glob("*.json")))
+                    == len(specs))
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+                worker.wait(timeout=30)
+
+
 class TestEngineSelection:
     def test_batch_engine_rejects_live_programs(self):
         program = resolve("micro.counted_loop").link()
@@ -281,6 +412,49 @@ class TestTraceMemoization:
         cached = load_trace(GOLDEN_MESA)
         assert load_trace(GOLDEN_MESA, use_cache=False) is not cached
 
+    def test_env_capacity_override_and_evict_events(self, tmp_path,
+                                                    monkeypatch):
+        """``REPRO_TRACE_LRU_CAPACITY`` resizes the decoded-trace LRU
+        (the hard-coded 8 starved >8-trace sweeps), and every eviction
+        is a visible ``trace.lru_evict`` event."""
+        from repro import telemetry
+        from repro.trace.format import _TRACE_LRU, trace_cache_capacity
+
+        clear_trace_cache()
+        monkeypatch.setenv("REPRO_TRACE_LRU_CAPACITY", "4")
+        assert trace_cache_capacity() == 4
+        paths = []
+        for i in range(9):
+            path = tmp_path / f"t{i}.trace.gz"
+            record_trace("micro.counted_loop", default_config(),
+                         instructions=100 + i, warmup=0, path=path)
+            paths.append(path)
+        log = tmp_path / "events.jsonl"
+        telemetry.configure(level="debug", json_path=str(log),
+                            propagate=False)
+        try:
+            for path in paths:
+                load_trace(path)
+        finally:
+            telemetry.disable()
+        assert len(_TRACE_LRU) == 4
+        evicts = [json.loads(line)
+                  for line in log.read_text().splitlines()
+                  if json.loads(line)["event"] == "trace.lru_evict"]
+        # nine distinct traces through a four-slot LRU: five evictions
+        assert len(evicts) == 5
+        assert all(event["capacity"] == 4 for event in evicts)
+        assert all(event["path"] for event in evicts)
+        clear_trace_cache()
+
+    def test_bogus_capacity_env_falls_back_to_default(self, monkeypatch):
+        from repro.trace.format import trace_cache_capacity
+        for bogus in ("banana", "0", "-3", ""):
+            monkeypatch.setenv("REPRO_TRACE_LRU_CAPACITY", bogus)
+            assert trace_cache_capacity() == TRACE_CACHE_CAPACITY
+        monkeypatch.delenv("REPRO_TRACE_LRU_CAPACITY")
+        assert trace_cache_capacity() == TRACE_CACHE_CAPACITY
+
 
 class TestBenchHarness:
     def test_bench_workload_structure_and_equivalence_gate(self, tmp_path):
@@ -290,13 +464,14 @@ class TestBenchHarness:
             repeats=1)
         assert {(r.mode, r.engine) for r in records} == {
             ("engine", "scalar"), ("engine", "batch"),
-            ("job", "scalar"), ("job", "batch")}
+            ("job", "scalar"), ("job", "batch"),
+            ("grid", "scalar"), ("grid", "batch")}
         for record in records:
             assert record.instr_per_sec > 0
             assert record.best_seconds > 0
             assert record.instructions > 0
         ratios = speedups(records)["177.mesa"]
-        assert set(ratios) == {"engine", "job"}
+        assert set(ratios) == {"engine", "job", "grid"}
         payload = {"speedups": {"177.mesa": ratios}}
         # an absurd floor fails, a zero floor passes
         assert check_floor(payload, 1e9)

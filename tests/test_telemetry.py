@@ -212,11 +212,14 @@ class TestOffPathEquivalence:
             return time.perf_counter() - start
 
         once()  # warm caches (registry, program link)
-        baseline = min(once() for _ in range(3))
-        with_calls = min(once() for _ in range(3))
         # both timings run the same disabled-path code; the assertion
         # bounds jitter-plus-overhead, and a hot emit() on the off path
-        # would blow far past it
+        # would blow far past it.  Samples interleave so monotonic drift
+        # (heap growth late in a long pytest run, CPU throttling) hits
+        # both sides equally instead of only the second block.
+        samples = [once() for _ in range(6)]
+        baseline = min(samples[0::2])
+        with_calls = min(samples[1::2])
         assert with_calls <= baseline * 1.02 + 0.05
 
 
@@ -339,6 +342,46 @@ class TestJobMetrics:
         empty = telemetry.aggregate([])
         assert empty["jobs_measured"] == 0
         assert empty["instr_per_sec"] == 0.0
+
+    def test_instr_per_sec_is_null_not_inf(self):
+        """A vanishingly small simulate time used to push
+        ``float('inf')`` into the rate; it must be ``None`` (strict-JSON
+        ``null``) natively, never a non-finite float."""
+        tiny = JobMetrics(instructions=10**6, simulate_seconds=5e-324)
+        assert tiny.instr_per_sec is None
+        assert tiny.to_dict()["instr_per_sec"] is None
+        agg = telemetry.aggregate([tiny], wall_seconds=1.0)
+        assert agg["instr_per_sec"] is None
+        # retired instructions with zero measured time is undefined
+        # (not idle, not infinite)
+        assert JobMetrics(instructions=100).instr_per_sec is None
+
+    def test_fully_cached_sweep_reports_null_rate(self, tmp_path,
+                                                  capsys):
+        """An all-cache-hit sweep whose stored metrics carry a
+        denormal-tiny simulate time used to emit ``inf`` into
+        ``sweep --json``; the rate must surface as ``null`` and the
+        human table must render it as n/a instead of crashing."""
+        from repro.cli import main
+        cache = tmp_path / "cache"
+        args = ["sweep", "--benchmarks", "micro.counted_loop",
+                "--itlb-entries", "8", "--instructions", "2000",
+                "--warmup", "400", "--cache-dir", str(cache)]
+        assert main(args + ["--json"]) == 0
+        capsys.readouterr()
+        # doctor the one store entry: real retire counts, ~zero time
+        (entry_path,) = cache.glob("*.json")
+        entry = json.loads(entry_path.read_text())
+        assert entry["metrics"]["instructions"] > 0
+        entry["metrics"]["simulate_seconds"] = 5e-324
+        entry_path.write_text(json.dumps(entry))
+        assert main(args + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["cached"] == 1
+        assert payload["metrics"]["jobs_measured"] == 1
+        assert payload["metrics"]["instr_per_sec"] is None
+        assert main(args) == 0
+        assert "n/a instr/s" in capsys.readouterr().out
 
     def test_runner_last_metrics(self):
         runner = SweepRunner()
@@ -625,6 +668,46 @@ class TestCLI:
         assert main(["status", str(queue_dir),
                      "--metrics-out", str(out)]) == 0
         assert "repro_queue_pending_jobs 0" in out.read_text()
+
+    def test_status_metrics_out_unwritable_is_clean(self, tmp_path,
+                                                    capsys):
+        """An unwritable --metrics-out target used to escape as a raw
+        OSError traceback; it must render one 'queue unavailable' line
+        and exit non-zero."""
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir)
+        target = tmp_path / "removed-dir" / "metrics.prom"
+        assert main(["status", str(queue_dir),
+                     "--metrics-out", str(target)]) == 1
+        err = capsys.readouterr().err
+        assert "queue unavailable" in err
+        assert "Traceback" not in err
+
+    def test_status_watch_queue_removed_mid_watch(self, tmp_path,
+                                                  capsys, monkeypatch):
+        """Tearing the queue directory down mid---watch must end the
+        watch with one final 'queue unavailable' frame and a non-zero
+        exit, not an escaping traceback."""
+        import shutil
+        from repro.cli import main
+        queue_dir = tmp_path / "q"
+        FileQueue(queue_dir)
+        real_snapshot = fleet.snapshot
+
+        def snapshot_then_teardown(root, **kwargs):
+            snap = real_snapshot(root, **kwargs)
+            shutil.rmtree(queue_dir)  # fleet shut down between frames
+            return snap
+
+        monkeypatch.setattr(fleet, "snapshot", snapshot_then_teardown)
+        assert main(["status", str(queue_dir), "--watch", "--json",
+                     "--interval", "0.01"]) == 1
+        captured = capsys.readouterr()
+        # one good frame rendered before the teardown was noticed
+        assert '"pending": 0' in captured.out
+        assert "queue unavailable" in captured.err
+        assert "Traceback" not in captured.err
 
     def test_status_rejects_bad_interval(self, tmp_path, capsys):
         from repro.cli import main
