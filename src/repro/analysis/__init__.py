@@ -1,0 +1,63 @@
+"""Static analysis: AST-based enforcement of the platform's contracts.
+
+Everything this reproduction promises rests on a handful of invariants
+that no single runtime test can pin globally:
+
+* **determinism** — results are pure functions of JobSpec content;
+  result-producing modules must not read wall clocks or entropy, and
+  must never let filesystem enumeration order leak into behaviour
+  (:class:`~repro.analysis.determinism.DeterminismRule`, ``DET001``);
+* **atomicity** — shared-directory communication (the file queue, the
+  result store, Prometheus textfiles) only ever happens via
+  tmp-write + ``os.replace``
+  (:class:`~repro.analysis.atomicity.AtomicWriteRule`, ``ATOM001``);
+* **strict JSON** — machine-readable boundaries never emit bare
+  ``NaN``/``Infinity`` tokens
+  (:class:`~repro.analysis.strictjson.StrictJsonRule`, ``JSON001``);
+* **cache-key purity** — every spec dataclass field is consumed by both
+  the serializer and the content digest
+  (:class:`~repro.analysis.cachekey.CacheKeyRule`, ``KEY001``);
+* **O(1) telemetry** — hot-loop modules never emit events from inside
+  a loop body
+  (:class:`~repro.analysis.telemetry_rules.TelemetryLoopRule`,
+  ``TEL001``);
+* **no swallowed exceptions** — broad handlers whose body is only
+  ``pass``/``continue`` hide real failures
+  (:class:`~repro.analysis.exceptions.SwallowedExceptionRule`,
+  ``EXC001``).
+
+``repro lint [PATHS]`` runs every registered rule over the tree and is
+wired into CI as a hard gate (see ``docs/static-analysis.md`` for the
+rule catalog, the suppression / baseline workflow, and how to add a
+rule).  The framework lives in :mod:`repro.analysis.core`; the CLI
+entry point in :mod:`repro.analysis.lint`.
+"""
+
+from repro.analysis.core import (  # noqa: F401
+    Finding,
+    ModuleSource,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+
+# importing the rule modules registers their rules; keep this list in
+# sync with the catalog in docs/static-analysis.md
+from repro.analysis import (  # noqa: E402,F401
+    atomicity,
+    cachekey,
+    determinism,
+    exceptions,
+    strictjson,
+    telemetry_rules,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]

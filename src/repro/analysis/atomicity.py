@@ -1,0 +1,94 @@
+"""ATOM001 — shared-directory writes go through tmp-then-``os.replace``.
+
+The file queue (PR 4) coordinates any number of processes and machines
+with nothing but atomic renames: a reader of ``jobs/``, ``claims/``,
+``store/``, ``workers/`` — or of a ``--metrics-out`` Prometheus
+textfile — must see old content or new content, never a torn write.
+That holds only while *every* writer routes through the one sanctioned
+idiom, :func:`repro.runner.store.atomic_write_text` (temp file +
+``os.replace``, temp removed on any failure).
+
+This rule pins the discipline at the source level in the modules that
+write to shared directories (:data:`SHARED_WRITE_FILES`): any
+``open(path, "w")``-family call or ``Path.write_text`` outside the
+sanctioned writer itself is a finding.  Append-mode opens are allowed —
+the JSONL event log is a deliberate ``O_APPEND`` sharing design (one
+short append per event), not a rename-able document.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    enclosing_functions,
+    register,
+)
+
+#: basenames of the modules that write into shared directories (the
+#: queue layout, the result store, Prometheus textfiles)
+SHARED_WRITE_FILES = frozenset({"filequeue.py", "status.py", "store.py"})
+
+#: functions allowed to open files for writing — the atomic idiom's
+#: own implementation
+SANCTIONED_WRITERS = frozenset({"atomic_write_text"})
+
+#: ``open()`` modes that create/truncate (reads and appends pass)
+_WRITE_MODE_CHARS = ("w", "x", "+")
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """Whether an ``open()`` call's mode creates or truncates."""
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in mode.value for c in _WRITE_MODE_CHARS)
+    return True  # dynamic mode: assume the worst
+
+
+@register
+class AtomicWriteRule(Rule):
+    id = "ATOM001"
+    title = "shared-directory writes use tmp-write + os.replace"
+    contract = (
+        "file-queue coordination (jobs/, claims/, store/, workers/) "
+        "and --metrics-out textfiles rely on readers never seeing a "
+        "torn write (PR 4/6); every writer in the shared-directory "
+        "modules routes through atomic_write_text")
+
+    def applies(self, module: ModuleSource) -> bool:
+        return module.parts[-1] in SHARED_WRITE_FILES
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node, parents in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if any(fn in SANCTIONED_WRITERS
+                   for fn in enclosing_functions(parents)):
+                continue
+            name = dotted_name(node.func)
+            if name in ("open", "io.open") and _open_write_mode(node):
+                yield module.finding(
+                    self.id, node,
+                    "open() for writing in a shared-directory module — "
+                    "route through atomic_write_text (tmp + os.replace) "
+                    "so concurrent readers never see a torn file")
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "write_text"):
+                yield module.finding(
+                    self.id, node,
+                    "direct .write_text() in a shared-directory module "
+                    "— route through atomic_write_text (tmp + "
+                    "os.replace) so concurrent readers never see a "
+                    "torn file")

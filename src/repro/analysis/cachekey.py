@@ -1,0 +1,125 @@
+"""KEY001 — cache-key purity: every spec field reaches the digest.
+
+A :class:`~repro.runner.jobspec.JobSpec`'s content key is the SHA-256
+of its ``to_dict()`` form; the :class:`~repro.runner.store.ResultStore`
+is built on the property that two specs describing different
+simulations can never collide.  The silent way to break that is
+structural: add a dataclass field (a new engine knob, a new window
+parameter) and forget to thread it through ``to_dict`` — from then on
+two *different* jobs share a key and the store serves one's result for
+the other.  That is exactly the cache-poisoning class PR 3 chased
+dynamically with digest sentinels; this rule pins it statically.
+
+The check is structural, not name-based: any dataclass that defines
+**both** a ``to_dict`` method and a ``key`` member (the spec shape —
+today :class:`JobSpec` and :class:`~repro.runner.gridspec.GridSpec`,
+plus whatever the roadmap adds) must
+
+* reference every dataclass field as ``self.<field>`` inside
+  ``to_dict``, and
+* in ``key``, either call ``self.to_dict()`` (covering every field
+  transitively) or reference every field directly.
+
+Fields spelled with a leading underscore and ``ClassVar`` annotations
+are exempt (they are not part of the value).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = stmt.annotation
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value  # ClassVar[int] -> ClassVar
+        name = dotted_name(annotation)
+        if name is not None and name.split(".")[-1] == "ClassVar":
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        names.append(stmt.target.id)
+    return names
+
+
+def _self_references(fn: ast.FunctionDef) -> Set[str]:
+    """Attribute names read off ``self`` anywhere in ``fn``."""
+    refs: Set[str] = set()
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            refs.add(node.attr)
+    return refs
+
+
+@register
+class CacheKeyRule(Rule):
+    id = "KEY001"
+    title = "every spec dataclass field reaches to_dict and key"
+    contract = (
+        "cache keys are pure functions of spec content (PR 1/7): a "
+        "field consumed by neither to_dict nor the key digest makes "
+        "two different jobs collide in the ResultStore — silent "
+        "cache poisoning")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            methods = {stmt.name: stmt for stmt in node.body
+                       if isinstance(stmt, ast.FunctionDef)}
+            to_dict = methods.get("to_dict")
+            key = methods.get("key")
+            if to_dict is None or key is None:
+                continue
+            fields = _field_names(node)
+            if not fields:
+                continue
+            to_dict_refs = _self_references(to_dict)
+            for field in fields:
+                if field not in to_dict_refs:
+                    yield module.finding(
+                        self.id, to_dict,
+                        f"{node.name}.{field} is a dataclass field but "
+                        "to_dict never reads self."
+                        f"{field} — two specs differing only in it "
+                        "would share a cache key (silent poisoning)")
+            key_refs = _self_references(key)
+            if "to_dict" in key_refs:
+                continue  # key digests to_dict: fields covered above
+            for field in fields:
+                if field not in key_refs:
+                    yield module.finding(
+                        self.id, key,
+                        f"{node.name}.key neither calls self.to_dict() "
+                        f"nor reads self.{field} — the digest misses "
+                        "part of the spec's content")

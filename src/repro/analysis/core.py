@@ -1,0 +1,412 @@
+"""The linter framework: rules, findings, suppressions, baselines.
+
+A :class:`Rule` inspects one parsed module at a time and yields
+:class:`Finding`\\ s.  Rules are stateless singletons registered with
+:func:`register`; :func:`lint_modules` drives them over a set of
+:class:`ModuleSource`\\ s and applies per-line suppressions.
+
+Suppressions
+    A finding is silenced by an annotated comment **with a reason**,
+    either on the flagged line or on a comment-only line directly
+    above it::
+
+        value = time.time()  # repro-lint: ok DET001  lease clock only
+
+    Two or more spaces separate the rule list (comma-separated ids are
+    accepted) from the reason.  A suppression *without* a reason is
+    deliberately not honoured: the reason is the contract review.
+
+Baselines
+    ``lint-baseline.json`` grandfathers pre-existing findings by
+    content fingerprint (rule id + path + normalized source line, so
+    unrelated edits never invalidate an entry).  Findings for the
+    rules in :data:`NEVER_BASELINE` can never be grandfathered — a
+    determinism or atomicity violation is either fixed or suppressed
+    with a written reason, never silently carried.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: baseline file schema version
+BASELINE_FORMAT = 1
+
+#: rules whose findings may never be grandfathered into a baseline:
+#: determinism and atomicity violations are fixed or explicitly
+#: suppressed with a reason — the cache-poisoning / torn-write bugs
+#: they guard are exactly the ones a silent baseline would hide
+NEVER_BASELINE = ("ATOM001", "DET001")
+
+#: pseudo-rule id attached to files the linter cannot parse
+PARSE_RULE = "LINT000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ok\s+"
+    r"(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"(?:\s{2,}(?P<reason>\S.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: repo-relative posix path (what fingerprints hash over)
+    line: int  #: 1-indexed
+    message: str
+    snippet: str  #: the stripped source line
+
+    @property
+    def fingerprint(self) -> str:
+        """Content identity for baseline matching: rule + path +
+        whitespace-normalized snippet, so moving a line (or editing an
+        unrelated one) never invalidates a baseline entry while editing
+        the flagged code does."""
+        normalized = " ".join(self.snippet.split())
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.path}\x00{normalized}"
+            .encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def describe(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule} {self.message}\n"
+                f"    {self.snippet}")
+
+
+class ModuleSource:
+    """One python file, parsed once, shared by every rule."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel  #: posix-style path findings are reported under
+        self.text = text
+        self.lines = text.splitlines()
+        self.parts: Tuple[str, ...] = PurePosixPath(rel).parts
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[str] = None
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as exc:
+            self.parse_error = f"{exc.msg} (line {exc.lineno})"
+        self._suppressions: Optional[Dict[int, set]] = None
+
+    @classmethod
+    def load(cls, path: Path, root: Optional[Path] = None
+             ) -> "ModuleSource":
+        root = Path.cwd() if root is None else root
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = PurePosixPath(os.path.relpath(path, root)).as_posix()
+        return cls(path, rel, path.read_text(encoding="utf-8"))
+
+    # -- helpers rules build findings with --------------------------------
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(rule=rule, path=self.rel, line=line,
+                       message=message, snippet=self.snippet(line))
+
+    def walk(self) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+        """Yield ``(node, ancestors)`` pairs, outermost ancestor first
+        — the context rules need for "inside a loop body" / "inside
+        function F" questions."""
+        if self.tree is None:
+            return
+
+        def visit(node: ast.AST, parents: Tuple[ast.AST, ...]
+                  ) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+            for child in ast.iter_child_nodes(node):
+                yield child, parents
+                yield from visit(child, parents + (child,))
+
+        yield from visit(self.tree, ())
+
+    # -- suppressions ------------------------------------------------------
+
+    def suppressions(self) -> Dict[int, set]:
+        """Line number -> rule ids suppressed there (reasoned entries
+        only; a reason-less annotation does not suppress)."""
+        if self._suppressions is None:
+            table: Dict[int, set] = {}
+            for number, line in enumerate(self.lines, start=1):
+                match = _SUPPRESS_RE.search(line)
+                if match is None or not match.group("reason"):
+                    continue
+                rules = {r.strip() for r in
+                         match.group("rules").split(",") if r.strip()}
+                table.setdefault(number, set()).update(rules)
+            self._suppressions = table
+        return self._suppressions
+
+    def suppressed(self, finding: Finding) -> bool:
+        table = self.suppressions()
+        if finding.rule in table.get(finding.line, ()):
+            return True
+        # a comment-only line directly above the flagged one
+        above = finding.line - 1
+        if (finding.rule in table.get(above, ())
+                and self.snippet(above).startswith("#")):
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+class Rule(ABC):
+    """One checkable contract.  Subclass, set the class attributes,
+    implement :meth:`check`, and decorate with :func:`register`."""
+
+    id: str = ""
+    title: str = ""
+    #: the platform contract this rule pins (shown by ``--rules`` and
+    #: in docs/static-analysis.md)
+    contract: str = ""
+
+    def applies(self, module: ModuleSource) -> bool:
+        """Whether this rule inspects ``module`` at all (path-scoped
+        rules narrow this)."""
+        return True
+
+    @abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield findings for one parsed module."""
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule '{rule_id}' (available: "
+            f"{', '.join(sorted(_REGISTRY))})") from None
+
+
+# -- shared AST helpers -----------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def enclosing_functions(parents: Sequence[ast.AST]) -> List[str]:
+    """Names of the functions lexically containing a node, outermost
+    first."""
+    return [p.name for p in parents
+            if isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def in_loop(parents: Sequence[ast.AST]) -> bool:
+    return any(isinstance(p, (ast.For, ast.AsyncFor, ast.While))
+               for p in parents)
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, before baseline filtering."""
+
+    findings: List[Finding]
+    files: int
+    suppressed: int
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """The python files under ``paths`` (files taken verbatim,
+    directories walked recursively), deterministically ordered and
+    skipping hidden directories."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(p for p in sorted(path.rglob("*.py"))
+                       if not any(part.startswith(".")
+                                  for part in p.parts))
+        else:
+            out.append(path)
+    seen = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_modules(modules: Iterable[ModuleSource],
+                 rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Run ``rules`` (default: all registered) over ``modules``."""
+    active = list(all_rules() if rules is None else rules)
+    findings: List[Finding] = []
+    suppressed = 0
+    files = 0
+    for module in modules:
+        files += 1
+        if module.parse_error is not None:
+            findings.append(Finding(
+                rule=PARSE_RULE, path=module.rel, line=1,
+                message=f"cannot parse: {module.parse_error}",
+                snippet=""))
+            continue
+        for rule in active:
+            if not rule.applies(module):
+                continue
+            for finding in rule.check(module):
+                if module.suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(findings=findings, files=files,
+                      suppressed=suppressed)
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               root: Optional[Path] = None) -> LintReport:
+    files = collect_files(list(paths))
+    return lint_modules((ModuleSource.load(p, root) for p in files),
+                        rules)
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+class Baseline:
+    """Grandfathered findings, matched by fingerprint with
+    multiplicity (two identical lines need two entries)."""
+
+    def __init__(self, entries: Optional[Counter] = None,
+                 records: Optional[List[dict]] = None) -> None:
+        self.entries: Counter = Counter() if entries is None else entries
+        #: the human-readable context --update-baseline recorded
+        self.records: List[dict] = records or []
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline,
+        a malformed one is a loud error (a silently-ignored baseline
+        would un-grandfather everything at once)."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if (not isinstance(data, dict)
+                or data.get("format") != BASELINE_FORMAT):
+            raise ValueError(
+                f"baseline {path} has unsupported format "
+                f"{data.get('format') if isinstance(data, dict) else '?'!r}")
+        entries: Counter = Counter()
+        records = []
+        for record in data.get("findings", []):
+            fingerprint = record.get("fingerprint")
+            if not fingerprint:
+                raise ValueError(
+                    f"baseline {path}: entry without fingerprint")
+            count = int(record.get("count", 1))
+            entries[fingerprint] += count
+            records.append(record)
+        return cls(entries, records)
+
+    def filter(self, findings: Sequence[Finding]
+               ) -> Tuple[List[Finding], int, int]:
+        """Split findings into (new, baselined_count, stale_entries).
+        ``stale_entries`` counts baseline entries nothing matched —
+        fixed findings whose entries should be dropped with
+        ``--update-baseline``."""
+        budget = Counter(self.entries)
+        fresh: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                baselined += 1
+            else:
+                fresh.append(finding)
+        stale = sum(budget.values())
+        return fresh, baselined, stale
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> List[Finding]:
+        """Record ``findings`` as the new baseline, refusing the
+        :data:`NEVER_BASELINE` rules; returns the findings that were
+        *not* grandfathered (they stay live)."""
+        refused = [f for f in findings if f.rule in NEVER_BASELINE]
+        eligible = [f for f in findings if f.rule not in NEVER_BASELINE]
+        grouped: Dict[str, dict] = {}
+        for finding in eligible:
+            record = grouped.setdefault(finding.fingerprint, {
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint,
+                "count": 0,
+            })
+            record["count"] += 1
+        payload = {
+            "format": BASELINE_FORMAT,
+            "findings": [grouped[fp] for fp in sorted(grouped)],
+        }
+        from repro.runner.store import atomic_write_text
+        atomic_write_text(Path(path), json.dumps(
+            payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
+        return refused

@@ -1,0 +1,150 @@
+"""DET001 — nondeterminism in result-producing modules.
+
+The platform's first contract is that a result is a pure function of
+its :class:`~repro.runner.jobspec.JobSpec` content: replay is
+bit-identical (the record→replay and grid-equivalence suites), cache
+entries are interchangeable across machines and years, and golden
+numbers never drift.  That dies the moment a result-path module reads
+a wall clock, an entropy source, or lets filesystem enumeration order
+leak into behaviour.
+
+What counts as the result path: the module directories in
+:data:`RESULT_DIRS` (``cpu/``, ``trace/``, ``sim/``, ``mem/``, ``vm/``,
+``branch/``, ``energy/``, ``runner/``).
+
+What is banned there:
+
+* wall-clock and entropy calls — ``time.time``/``localtime``/
+  ``strftime``/... , every ``random.*`` call, ``os.urandom``, and the
+  entropy-backed ``uuid`` constructors.  Monotonic *duration* clocks
+  (``perf_counter``, ``monotonic``) and ``time.sleep`` are deliberately
+  allowed: durations feed :class:`~repro.telemetry.metrics.JobMetrics`,
+  which the telemetry off-path equivalence suite pins strictly outside
+  result bytes, and sleeping produces no value at all;
+* iteration over a ``set`` literal or set comprehension — set order is
+  salted per process, so any behaviour derived from it differs between
+  two runs of the same spec;
+* ``for``-iteration over unsorted ``os.listdir`` / ``glob.glob`` /
+  ``Path.iterdir`` / ``Path.glob`` / ``Path.rglob`` results — directory
+  order is filesystem-specific, so anything order-dependent (claim
+  scanning, eviction, store listing) must sort first.  A loop that
+  provably discards the element (target spelled ``_``) is exempt:
+  counting is order-free.
+
+Sites that *are* sanctioned (a worker's identity nonce, a lease
+staleness clock) carry a ``# repro-lint: ok DET001  <reason>``
+suppression — the reason is the review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: directories whose modules produce (or orchestrate the production
+#: of) results; everything under them is held to the purity contract
+RESULT_DIRS = frozenset(
+    {"cpu", "trace", "sim", "mem", "vm", "branch", "energy", "runner"})
+
+#: calls that read a wall clock or entropy source — anything whose
+#: value could vary between two executions of the same spec
+BANNED_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.strftime", "time.ctime", "time.asctime", "time.mktime",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4", "uuid.getnode",
+})
+
+#: call-name prefixes banned wholesale
+BANNED_PREFIXES = ("random.",)
+
+#: plain calls returning directory listings in filesystem order
+SCAN_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob",
+                        "glob.iglob"})
+
+#: method names returning directory listings in filesystem order
+SCAN_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _scan_call(node: ast.AST) -> Optional[str]:
+    """The human name of a directory-scan call, if ``node`` is one."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name in SCAN_CALLS:
+        return name
+    if (isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCAN_METHODS):
+        return f".{node.func.attr}()"
+    return None
+
+
+def _discards_element(target: ast.AST) -> bool:
+    """A loop target spelled ``_`` cannot leak enumeration order."""
+    return isinstance(target, ast.Name) and target.id == "_"
+
+
+def _iteration_sites(module: ModuleSource
+                     ) -> Iterator[Tuple[ast.AST, ast.AST, ast.AST]]:
+    """Every ``(loop_node, iterable, target)`` in the module: ``for``
+    statements plus every generator of every comprehension."""
+    if module.tree is None:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter, node.target
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield node, gen.iter, gen.target
+
+
+@register
+class DeterminismRule(Rule):
+    id = "DET001"
+    title = "no nondeterminism in result-producing modules"
+    contract = (
+        "results are pure functions of JobSpec content: replay is "
+        "bit-identical and cache entries never go stale (PR 2/5/7); "
+        "no wall clocks, entropy, set-order iteration, or unsorted "
+        "directory scans on the result path")
+
+    def applies(self, module: ModuleSource) -> bool:
+        return any(part in RESULT_DIRS for part in module.parts)
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if (name in BANNED_CALLS
+                        or name.startswith(BANNED_PREFIXES)):
+                    yield module.finding(
+                        self.id, node,
+                        f"call to {name}() on the result path — "
+                        "wall-clock/entropy values cannot be part of "
+                        "a content-addressed result")
+        for loop, iterable, target in _iteration_sites(module):
+            if isinstance(iterable, (ast.Set, ast.SetComp)):
+                yield module.finding(
+                    self.id, iterable,
+                    "iteration over a set literal/comprehension — set "
+                    "order is salted per process; sort it (or use a "
+                    "tuple/list) before iterating")
+                continue
+            scanned = _scan_call(iterable)
+            if scanned is not None and not _discards_element(target):
+                yield module.finding(
+                    self.id, iterable,
+                    f"iterating unsorted {scanned} results — directory "
+                    "order is filesystem-specific; wrap in sorted()")

@@ -1,0 +1,85 @@
+"""EXC001 — no silently-swallowed broad exceptions.
+
+A ``try``/``except Exception: pass`` hides every failure class behind
+it: corrupted store entries, half-written claims, arithmetic bugs in
+the energy model.  The platform's recovery paths are all *loud* —
+:class:`~repro.runner.store.ResultStore` counts and unlinks corrupt
+entries, the file queue surfaces requeues in worker stats — so a
+handler that is broad (bare ``except``, ``except Exception``,
+``except BaseException``, or a tuple containing one of those) *and*
+whose body does nothing but ``pass``/``continue`` is a bug pattern,
+not error handling.
+
+One sink is sanctioned: :func:`repro.telemetry.emit` deliberately
+never raises (telemetry must not take down the job it observes), and
+its swallow-everything handler is the documented design.  Everything
+else either narrows the exception type or does something observable
+in the handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    enclosing_functions,
+    register,
+)
+
+#: ``(module-basename, function-name)`` pairs allowed to swallow all
+#: exceptions — the never-raises telemetry sink
+SANCTIONED_SINKS = frozenset({("core.py", "emit")})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for t in types:
+        name = dotted_name(t)
+        if name is not None and name.split(".")[-1] in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _body_only_swallows(handler: ast.ExceptHandler) -> bool:
+    return all(isinstance(stmt, (ast.Pass, ast.Continue))
+               for stmt in handler.body)
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "EXC001"
+    title = "no broad except clauses that only pass/continue"
+    contract = (
+        "recovery paths are loud (corrupt-entry counters, requeue "
+        "stats): a bare/broad except whose body only passes hides "
+        "store corruption and queue failures; narrow the type or "
+        "make the handler observable")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node, parents in module.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if not _body_only_swallows(node):
+                continue
+            if "telemetry" in module.parts and any(
+                    (module.parts[-1], fn) in SANCTIONED_SINKS
+                    for fn in enclosing_functions(parents)):
+                continue
+            yield module.finding(
+                self.id, node,
+                "broad except clause whose body only "
+                "passes/continues — this silently swallows store "
+                "corruption and queue failures; narrow the exception "
+                "type or handle it observably")

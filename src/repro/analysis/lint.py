@@ -1,0 +1,136 @@
+"""``repro lint`` — run the invariant rules and gate on findings.
+
+Exit status is the contract CI builds on: 0 when every finding is
+baselined (or there are none), 1 when any live finding remains.
+``--update-baseline`` rewrites ``lint-baseline.json`` from the current
+findings — except for the :data:`~repro.analysis.core.NEVER_BASELINE`
+rules, which stay live no matter what (fix them or suppress them with
+a reasoned ``# repro-lint: ok`` annotation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import (
+    Baseline,
+    Finding,
+    NEVER_BASELINE,
+    all_rules,
+    get_rule,
+    lint_paths,
+)
+
+#: default baseline location, relative to the working directory
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` arguments to ``parser`` (shared by
+    the CLI subcommand and any standalone entry point)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document instead of text")
+    parser.add_argument(
+        "--rules", action="store_true", dest="list_rules",
+        help="list the rule catalog and exit")
+    parser.add_argument(
+        "--rule", action="append", dest="only_rules", metavar="ID",
+        help="run only this rule id (repeatable)")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as live")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+             f"(the {'/'.join(NEVER_BASELINE)} rules are never "
+             "baselined)")
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.title}")
+        print(f"    {rule.contract}")
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    rules = None
+    if args.only_rules:
+        try:
+            rules = [get_rule(rule_id) for rule_id in args.only_rules]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("error: no such file or directory: "
+              + ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 2
+
+    report = lint_paths(paths, rules)
+
+    baseline_path = Path(args.baseline)
+    stale = 0
+    baselined = 0
+    live: List[Finding] = report.findings
+    if args.update_baseline:
+        refused = Baseline.write(baseline_path, report.findings)
+        live = refused
+        print(f"baseline written to {baseline_path} "
+              f"({len(report.findings) - len(refused)} grandfathered)")
+        if refused:
+            print(f"{len(refused)} finding(s) cannot be baselined "
+                  f"({'/'.join(NEVER_BASELINE)} stay live):")
+    elif not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+        live, baselined, stale = baseline.filter(report.findings)
+
+    if args.as_json:
+        from repro.cli import to_json
+        print(to_json({
+            "files": report.files,
+            "findings": [f.to_dict() for f in live],
+            "baselined": baselined,
+            "stale_baseline_entries": stale,
+            "suppressed": report.suppressed,
+            "ok": not live,
+        }))
+        return 1 if live else 0
+
+    for finding in live:
+        print(finding.describe())
+    summary = (f"{report.files} file(s), {len(live)} finding(s)"
+               f", {baselined} baselined, {report.suppressed} suppressed")
+    if stale:
+        summary += (f", {stale} stale baseline entr"
+                    f"{'y' if stale == 1 else 'ies'} "
+                    "(run --update-baseline to drop)")
+    print(summary)
+    return 1 if live else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro platform")
+    add_lint_arguments(parser)
+    return run_lint_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""JSON001 — strict JSON at every machine-readable boundary.
+
+``json.dumps`` defaults to ``allow_nan=True`` and happily emits bare
+``NaN``/``Infinity`` tokens, which no strict parser (``jq``, other
+languages, ``json.loads(..., parse_constant=...)`` consumers) accepts.
+The platform's machine-readable boundaries — CLI ``--json`` output,
+telemetry JSONL events, result-store entries — promise strict JSON
+(PR 4/6), so every ``json.dump``/``json.dumps`` in the boundary
+modules must either pass ``allow_nan=False`` explicitly or live inside
+the sanctioning helper (:func:`repro.cli.to_json`, which both
+sanitizes non-finite floats to ``null`` and forbids the tokens).
+
+Scope: ``cli.py``, everything under ``telemetry/``, and the result
+store (``runner/store.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    enclosing_functions,
+    register,
+)
+
+#: functions that *are* the strict-JSON boundary (their internal dumps
+#: call is the sanctioned implementation)
+SANCTIONED_HELPERS = frozenset({"to_json"})
+
+
+def _has_allow_nan_false(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "allow_nan":
+            value = keyword.value
+            return (isinstance(value, ast.Constant)
+                    and value.value is False)
+    return False
+
+
+@register
+class StrictJsonRule(Rule):
+    id = "JSON001"
+    title = "boundary json.dump(s) is strict (allow_nan=False)"
+    contract = (
+        "CLI --json, telemetry JSONL, and store entries are strict "
+        "JSON — no bare NaN/Infinity tokens (PR 4/6); serialization "
+        "at those boundaries passes allow_nan=False or goes through "
+        "cli.to_json")
+
+    def applies(self, module: ModuleSource) -> bool:
+        if "telemetry" in module.parts:
+            return True
+        if module.parts[-1] == "cli.py":
+            return True
+        return (len(module.parts) >= 2
+                and module.parts[-2:] == ("runner", "store.py"))
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        assert module.tree is not None
+        for node, parents in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in ("json.dump", "json.dumps"):
+                continue
+            if _has_allow_nan_false(node):
+                continue
+            if any(fn in SANCTIONED_HELPERS
+                   for fn in enclosing_functions(parents)):
+                continue
+            yield module.finding(
+                self.id, node,
+                f"{name}() at a strict-JSON boundary without "
+                "allow_nan=False — a NaN-bearing payload would emit "
+                "bare NaN/Infinity tokens no strict parser accepts; "
+                "pass allow_nan=False or route through cli.to_json")

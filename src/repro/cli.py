@@ -762,6 +762,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "python -m pstats OUT.pstats)")
     _add_sim_args(p_sim)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter "
+             "(see docs/static-analysis.md)")
+    from repro.analysis.lint import add_lint_arguments
+    add_lint_arguments(p_lint)
+
     p_bench = sub.add_parser(
         "bench",
         help="measure scalar vs batched replay throughput and write "
@@ -856,6 +863,9 @@ def _dispatch(args: argparse.Namespace,
         return _run_cache(args)
     if args.command == "bench":
         return _run_bench(args, parser)
+    if args.command == "lint":
+        from repro.analysis.lint import run_lint_cli
+        return run_lint_cli(args)
     if args.command == "calibrate":
         print(calibration_report(instructions=args.instructions,
                                  warmup=args.warmup))

@@ -82,6 +82,7 @@ DEFAULT_POLL_SECONDS = 0.2
 def _owner_id() -> str:
     """Filename-safe unique worker identity (host, pid, nonce)."""
     host = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname())[:24]
+    # repro-lint: ok DET001  worker identity nonce names the claim file, never result bytes
     return f"{host or 'host'}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
@@ -218,9 +219,9 @@ class FileQueue:
     def reclaim_stale(self, lease_seconds: float) -> int:
         """Requeue every claim whose heartbeat stopped more than
         ``lease_seconds`` ago; returns how many were reclaimed."""
-        now = time.time()
+        now = time.time()  # repro-lint: ok DET001  lease staleness clock, compared to file mtimes
         reclaimed = 0
-        for claim in self.claims_dir.glob("*.json"):
+        for claim in sorted(self.claims_dir.glob("*.json")):
             try:
                 mtime = claim.stat().st_mtime
             except OSError:
@@ -307,6 +308,7 @@ class WorkerRecord:
             "pid": os.getpid(),
             "host": socket.gethostname(),
             "queue": str(queue.root),
+            # repro-lint: ok DET001  dashboard timestamp, outside result bytes
             "started_at": time.time(),
             "lease_seconds": lease_seconds,
             "poll_seconds": poll_seconds,
@@ -317,6 +319,7 @@ class WorkerRecord:
               exited: bool = False) -> None:
         record = dict(self._base)
         record.update(state=state, current=current, exited=exited,
+                      # repro-lint: ok DET001  dashboard freshness timestamp, outside result bytes
                       updated_at=time.time(),
                       stats={k: v for k, v in
                              dataclasses.asdict(stats).items()

@@ -42,6 +42,15 @@ STORE_FORMAT = 1
 MAX_SLUG_BYTES = 80
 
 
+def _reject_nonfinite(token: str) -> float:
+    """``parse_constant`` hook for store reads: a bare ``NaN`` /
+    ``Infinity`` token means the entry was written by a non-strict
+    serializer — treat it as corruption (the caller's recovery path
+    counts and unlinks it) rather than resurrecting a non-finite
+    result value."""
+    raise ValueError(f"non-finite JSON token {token!r} in store entry")
+
+
 def atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename),
     removing the temp file on *any* failure — a Ctrl-C mid-write must
@@ -145,7 +154,7 @@ class ResultStore:
             # fine — leave it for the next reader
             return None
         try:
-            entry = json.loads(text)
+            entry = json.loads(text, parse_constant=_reject_nonfinite)
             if entry.get("format") != STORE_FORMAT:
                 raise ValueError(f"entry format {entry.get('format')!r}")
             if entry.get("key") != key:
@@ -198,7 +207,7 @@ class ResultStore:
             "spec": spec.to_dict(),
             "result": run.to_dict(),
         }
-        text = json.dumps(entry)
+        text = json.dumps(entry, allow_nan=False)
         metrics = getattr(run, "job_metrics", None)
         if metrics is not None:
             # the persisted store-write figure can only cover its own
@@ -210,7 +219,7 @@ class ResultStore:
                 metrics.store_write_seconds = (
                     time.perf_counter() - serialize_started)
             entry["metrics"] = metrics.to_dict()
-            text = json.dumps(entry)
+            text = json.dumps(entry, allow_nan=False)
         atomic_write_text(path, text)
         self.writes += 1
         return path
@@ -243,7 +252,8 @@ class ResultStore:
                 "engine": None,
             }
             try:
-                entry = json.loads(path.read_text(encoding="utf-8"))
+                entry = json.loads(path.read_text(encoding="utf-8"),
+                                   parse_constant=_reject_nonfinite)
                 spec = entry.get("spec", {})
                 record.update(
                     ok=entry.get("format") == STORE_FORMAT,
@@ -286,7 +296,7 @@ class ResultStore:
         self.clear()
         removed = 0
         if self.root is not None:
-            for path in self.root.glob("*.json*"):
+            for path in sorted(self.root.glob("*.json*")):
                 try:
                     path.unlink()
                     removed += 1
@@ -311,7 +321,7 @@ class ResultStore:
         freed = 0
         if self.root is None:
             return removed, freed
-        for tmp in self.root.glob("*.json.tmp*"):
+        for tmp in sorted(self.root.glob("*.json.tmp*")):
             try:
                 size = tmp.stat().st_size
                 tmp.unlink()

@@ -207,32 +207,45 @@ class TestStrictJson:
         payload = {"x": 1, "y": [2.5, "z"], "nested": {"ok": True}}
         assert json.loads(to_json(payload)) == payload
 
-    def test_sweep_json_survives_nan_in_cached_result(self, tmp_path,
-                                                      capsys):
-        """Regression: a cached result carrying NaN (produced by a
-        foreign writer or a scheme without an energy model — Python's
-        ``json`` both emits and re-parses bare ``NaN``) used to be
-        re-emitted verbatim by ``repro sweep --json``, which no strict
-        JSON parser accepts."""
+    def test_sweep_recovers_from_nan_poisoned_cache_entry(self, tmp_path,
+                                                          capsys):
+        """A cache entry carrying a bare ``NaN`` token (left by a
+        foreign, non-strict writer — ``ResultStore.put`` itself now
+        refuses to produce one) is treated as corruption: the sweep
+        quarantines it, re-simulates, and its ``--json`` output stays
+        strict."""
         spec = _spec()
-        run = spec.run()
-        for scheme in run.schemes.values():
-            scheme.energy.lookup_nj = float("nan")
-        ResultStore(tmp_path).put(spec, run)
+        store = ResultStore(tmp_path)
+        path = store.put(spec, spec.run())
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["result"]["poison"] = float("nan")
+        path.write_text(json.dumps(entry, allow_nan=True),
+                        encoding="utf-8")
         # the poison really is on disk as a bare NaN token
-        entry_text = next(tmp_path.glob("*.json")).read_text()
-        assert "NaN" in entry_text
+        assert "NaN" in path.read_text(encoding="utf-8")
         rc = cli_main(["sweep", "--benchmarks", "micro.counted_loop",
                        "--instructions", "1200", "--warmup", "200",
                        "--cache-dir", str(tmp_path), "--json"])
         out = capsys.readouterr().out
         assert rc == 0
         data = json.loads(out, parse_constant=_reject)  # must not raise
-        assert data["stats"]["cached"] == 1
-        job = data["jobs"][0]
-        schemes = job["result"]["plain"]["schemes"]
-        assert all(s["energy"]["lookup_nj"] is None
-                   for s in schemes.values())
+        # the poisoned entry was a miss, not a NaN resurrection...
+        assert data["stats"]["cached"] == 0
+        assert data["stats"]["simulated"] == 1
+        # ...and the re-simulated entry on disk is strict again
+        fresh_text = next(tmp_path.glob("*.json")).read_text()
+        json.loads(fresh_text, parse_constant=_reject)
+
+    def test_put_refuses_to_write_nan(self, tmp_path):
+        """The other half of the contract: the store can no longer be
+        the foreign writer itself."""
+        spec = _spec()
+        run = spec.run()
+        for scheme in run.schemes.values():
+            scheme.energy.lookup_nj = float("nan")
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).put(spec, run)
+        assert not list(tmp_path.glob("*.json*"))  # nothing stranded
 
     def test_trace_info_json_is_strict(self, tmp_path, capsys):
         from repro.trace import record_trace

@@ -161,6 +161,55 @@ class TestResultStore:
         assert fresh.get(spec) is None
         assert fresh.corrupt == 1
 
+    def test_nonfinite_entry_treated_as_corrupt(self, tmp_path,
+                                                micro_run):
+        """Regression: an entry carrying a bare ``NaN`` token (written
+        by some older, non-strict serializer) used to deserialize into
+        a result with ``float('nan')`` values that poison downstream
+        arithmetic and table rendering.  Store reads now reject the
+        token and take the normal corruption path: miss, counted,
+        quarantined."""
+        spec = _spec()
+        store = ResultStore(tmp_path)
+        path = store.put(spec, micro_run)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["result"]["simulate_seconds"] = float("nan")
+        path.write_text(json.dumps(entry, allow_nan=True),
+                        encoding="utf-8")
+        assert "NaN" in path.read_text(encoding="utf-8")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec) is None  # miss, not a NaN resurrection
+        assert fresh.corrupt == 1
+        assert not path.exists()  # quarantined
+        # an Infinity-bearing file likewise reads as unreadable (not
+        # ok) in cache listings
+        again = ResultStore(tmp_path)
+        entry_path = again.put(spec, micro_run)
+        doctored = json.loads(entry_path.read_text(encoding="utf-8"))
+        doctored["result"]["simulate_seconds"] = float("inf")
+        entry_path.write_text(json.dumps(doctored, allow_nan=True),
+                              encoding="utf-8")
+        records = again.disk_entries()
+        assert [r["ok"] for r in records] == [False]
+
+    def test_put_rejects_nonfinite_metrics(self, tmp_path, micro_run):
+        """Regression: ``put`` used to serialize with the permissive
+        json default, so a NaN that slipped into a run's metrics was
+        silently persisted as a bare token no strict parser (or the
+        hardened read path) accepts.  It now fails loudly at write
+        time, before the temp file is created."""
+        import copy
+
+        from repro.telemetry.metrics import JobMetrics
+
+        run = copy.copy(micro_run)
+        run.job_metrics = JobMetrics(workload="micro.counted_loop",
+                                     simulate_seconds=float("nan"))
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put(_spec(), run)
+        assert list(tmp_path.glob("*.tmp*")) == []  # no stranded temp
+
     def test_purge(self, tmp_path, micro_run):
         store = ResultStore(tmp_path)
         store.put(_spec(), micro_run)

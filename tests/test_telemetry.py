@@ -216,11 +216,18 @@ class TestOffPathEquivalence:
         # bounds jitter-plus-overhead, and a hot emit() on the off path
         # would blow far past it.  Samples interleave so monotonic drift
         # (heap growth late in a long pytest run, CPU throttling) hits
-        # both sides equally instead of only the second block.
-        samples = [once() for _ in range(6)]
-        baseline = min(samples[0::2])
-        with_calls = min(samples[1::2])
-        assert with_calls <= baseline * 1.02 + 0.05
+        # both sides equally instead of only the second block.  A real
+        # overhead regression is systematic — it shifts every round the
+        # same way — so the guard retries a bounded number of rounds to
+        # ride out one-off scheduler jitter on starved single-core CI
+        # boxes without admitting a genuine slowdown.
+        for _ in range(3):
+            samples = [once() for _ in range(6)]
+            baseline = min(samples[0::2])
+            with_calls = min(samples[1::2])
+            if with_calls <= baseline * 1.02 + 0.05:
+                break
+        assert with_calls <= baseline * 1.02 + 0.05, samples
 
 
 # ---------------------------------------------------------------------------
