@@ -31,6 +31,15 @@ Three views are measured per workload:
     :func:`~repro.sim.multi.run_all_schemes_grid` pass.  Both rows
     retire the same summed instruction count, so the speedup ratio is
     a pure wall-clock ratio.
+``stream``
+    The memory/speed trade of windowed decode: a full job with the
+    decoded-trace cache cleared, once decoding eagerly (``eager`` row)
+    and once under a forced ``REPRO_TRACE_WINDOW`` budget of a quarter
+    of the largest segment's columns (``windowed`` row).  Each row
+    records ``peak_window_bytes`` — the largest decoded window a run
+    held at once (for eager, the full segment) — so the JSON carries
+    the memory bound next to the throughput cost of honouring it.  The
+    two runs are compared for bit-identity, like every other view.
 
 Timing uses ``time.perf_counter`` around engine execution only (trace
 recording and column decoding happen before the timed region, except in
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import sys
 import time
@@ -52,7 +62,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config import MachineConfig, TLBConfig, default_config
 from repro.sim.multi import run_all_schemes, run_all_schemes_grid
-from repro.trace.format import clear_trace_cache, load_trace
+from repro.telemetry.metrics import collect
+from repro.trace.format import (
+    COLUMN_BYTES_PER_STEP,
+    clear_trace_cache,
+    load_trace,
+)
 from repro.trace.record import record_trace
 from repro.trace.replay import TraceWorkload
 from repro.workloads.registry import resolve
@@ -76,13 +91,17 @@ class BenchRecord:
     """One (workload, evaluator, view) measurement."""
 
     workload: str
-    engine: str  #: "scalar" | "batch"
+    engine: str  #: "scalar" | "batch" ("eager" | "windowed" in "stream")
     mode: str  #: "engine" (one pass) | "job" (full run_all_schemes)
+    #:  | "grid" (N-geometry sweep) | "stream" (decode-strategy trade)
     instructions: int  #: instructions retired per timed run
     repeats: int
     best_seconds: float
     mean_seconds: float
     instr_per_sec: float
+    #: largest decoded window held at once (``stream`` view only; the
+    #: ``eager`` row reports the full largest-segment columns)
+    peak_window_bytes: Optional[int] = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -139,7 +158,11 @@ def bench_workload(workload: str, trace_path: Union[str, Path], *,
     records: List[BenchRecord] = []
 
     # -- engine view: one plain-binary pass, decode excluded ------------
-    trace_workload = TraceWorkload(trace_path, load_trace(trace_path))
+    # stream=False pins the eager decode even under a forced
+    # $REPRO_TRACE_WINDOW: this view isolates the hot loop, so decode
+    # must stay outside the timed region
+    trace_workload = TraceWorkload(trace_path,
+                                   load_trace(trace_path, stream=False))
     program = trace_workload.link(page_bytes=config.mem.page_bytes,
                                   instrumented=False)
     program.segment.columns()  # decode outside the timed region
@@ -237,21 +260,88 @@ def bench_workload(workload: str, trace_path: Union[str, Path], *,
                 f"bench aborted: grid member diverged from its "
                 f"independent job on {workload} — run the grid "
                 "equivalence suite (tests/test_batch_engine.py)")
+
+    # -- stream view: eager vs windowed decode of the same cold job -----
+    # window budget: a quarter of the largest segment's columns, so the
+    # windowed run provably never holds the decoded trace whole
+    full_bytes = max(COLUMN_BYTES_PER_STEP * len(s.records)
+                     for s in trace_workload.trace.segments)
+    window_bytes = max(COLUMN_BYTES_PER_STEP, full_bytes // 4)
+    stream_runs: Dict[str, object] = {}
+    stream_peak = {"bytes": 0}
+
+    def run_stream(engine_name: str,
+                   window: Optional[int]) -> Callable[[], int]:
+        def go() -> int:
+            clear_trace_cache()  # both rows pay the cold decode
+            saved = os.environ.get("REPRO_TRACE_WINDOW")
+            if window is None:
+                os.environ.pop("REPRO_TRACE_WINDOW", None)
+            else:
+                os.environ["REPRO_TRACE_WINDOW"] = str(window)
+            try:
+                with collect() as metrics:
+                    run = run_all_schemes(resolve(trace_name), config,
+                                          instructions=instructions,
+                                          warmup=warmup)
+                if (window is not None
+                        and metrics.stream_peak_bytes
+                        > stream_peak["bytes"]):
+                    stream_peak["bytes"] = metrics.stream_peak_bytes
+                stream_runs[engine_name] = run
+                return (run.plain.shared.instructions
+                        + run.instrumented.shared.instructions + 2 * warmup)
+            finally:
+                if saved is None:
+                    os.environ.pop("REPRO_TRACE_WINDOW", None)
+                else:
+                    os.environ["REPRO_TRACE_WINDOW"] = saved
+        return go
+
+    for engine_name, window in (("eager", None), ("windowed", window_bytes)):
+        best, mean, retired = _time(run_stream(engine_name, window), repeats)
+        peak = full_bytes if window is None else stream_peak["bytes"]
+        records.append(BenchRecord(
+            workload=workload, engine=engine_name, mode="stream",
+            instructions=retired, repeats=repeats, best_seconds=best,
+            mean_seconds=mean, instr_per_sec=retired / best,
+            peak_window_bytes=peak))
+        log(f"{workload:24s} {engine_name:8s} stream "
+            f"{retired / best:>11,.0f} instr/s (best of {repeats}: "
+            f"{best:.3f}s, peak window {peak:,} B)")
+    if (json.dumps(stream_runs["eager"].to_dict(), sort_keys=True)
+            != json.dumps(stream_runs["windowed"].to_dict(),
+                          sort_keys=True)):
+        raise RuntimeError(
+            f"bench aborted: windowed decode diverged from eager on "
+            f"{workload} — run the streaming equivalence suite "
+            "(tests/test_streaming.py)")
+    if stream_peak["bytes"] > window_bytes:
+        raise RuntimeError(
+            f"bench aborted: windowed decode of {workload} peaked at "
+            f"{stream_peak['bytes']:,} bytes over its "
+            f"{window_bytes:,}-byte budget")
     return records
 
 
 def speedups(records: Sequence[BenchRecord]) -> Dict[str, Dict[str, float]]:
-    """Per-workload batch/scalar instr-per-sec ratios, per view."""
+    """Per-workload instr-per-sec ratios, per view: batch/scalar for the
+    evaluator views, windowed/eager for ``stream`` (typically ≤ 1 — it
+    prices the memory bound, it does not chase a speedup)."""
     by_key: Dict[tuple, BenchRecord] = {
         (r.workload, r.mode, r.engine): r for r in records}
     out: Dict[str, Dict[str, float]] = {}
     for workload in {r.workload for r in records}:
         entry = {}
-        for mode in ("engine", "job", "grid"):
-            scalar = by_key.get((workload, mode, "scalar"))
-            batch = by_key.get((workload, mode, "batch"))
-            if scalar and batch and scalar.instr_per_sec:
-                entry[mode] = batch.instr_per_sec / scalar.instr_per_sec
+        for mode, base_name, fast_name in (
+                ("engine", "scalar", "batch"),
+                ("job", "scalar", "batch"),
+                ("grid", "scalar", "batch"),
+                ("stream", "eager", "windowed")):
+            base = by_key.get((workload, mode, base_name))
+            fast = by_key.get((workload, mode, fast_name))
+            if base and fast and base.instr_per_sec:
+                entry[mode] = fast.instr_per_sec / base.instr_per_sec
         out[workload] = entry
     return out
 

@@ -45,6 +45,7 @@ import argparse
 import dataclasses
 import json
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -99,6 +100,16 @@ def to_json(payload, indent: int = 2) -> str:
         return value
 
     return json.dumps(clean(payload), indent=indent, allow_nan=False)
+
+
+def _add_trace_window_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-window", default=None, metavar="BYTES",
+                        help="force windowed (streaming) trace decode "
+                             "with this per-window column budget (k/m/g "
+                             "suffixes: '4m', '512k'); exported as "
+                             "REPRO_TRACE_WINDOW so pool/queue workers "
+                             "inherit it.  Default: small traces decode "
+                             "eagerly, large ones stream")
 
 
 def _add_sim_args(parser: argparse.ArgumentParser, *,
@@ -596,6 +607,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="machine-readable output (full simulation "
                               "records, including the normalization Base "
                               "pass even under --schemes)")
+    _add_trace_window_arg(p_sweep)
     p_sweep.add_argument("--profile", default=None, metavar="OUT.pstats",
                          help="profile the whole sweep with cProfile "
                               "and write a pstats dump (read with: "
@@ -760,6 +772,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="profile the run with cProfile and write a "
                             "pstats dump (read with: "
                             "python -m pstats OUT.pstats)")
+    _add_trace_window_arg(p_sim)
     _add_sim_args(p_sim)
 
     p_lint = sub.add_parser(
@@ -773,9 +786,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench",
         help="measure scalar vs batched replay throughput and write "
              "BENCH_<n>.json (see docs/performance.md)")
-    p_bench.add_argument("-o", "--output", default="BENCH_7.json",
+    p_bench.add_argument("-o", "--output", default="BENCH_9.json",
                          help="JSON report to write "
-                              "(default: BENCH_7.json)")
+                              "(default: BENCH_9.json)")
     p_bench.add_argument("--quick", action="store_true",
                          help="mesa only, smaller window, fewer repeats "
                               "(the CI smoke configuration)")
@@ -801,6 +814,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="exit 1 if the batch engine's instr/sec "
                               "is below RATIO x the scalar engine's on "
                               "any benched workload (CI guards 0.9)")
+    _add_trace_window_arg(p_bench)
 
     args = parser.parse_args(argv)
 
@@ -813,6 +827,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if getattr(args, "workers", 1) < 0:
         parser.error("--workers must be >= 0 (0 = auto-detect)")
+    if getattr(args, "trace_window", None) is not None:
+        from repro.trace.format import parse_byte_size
+        if parse_byte_size(args.trace_window) is None:
+            parser.error(
+                f"--trace-window: not a positive byte size: "
+                f"'{args.trace_window}' (try '4m', '512k', or a plain "
+                "byte count)")
+        # environment, not a parameter: pool/queue workers inherit it,
+        # so one flag sizes the whole fleet (the REPRO_TRACE_LRU_*
+        # precedent)
+        os.environ["REPRO_TRACE_WINDOW"] = args.trace_window
     if getattr(args, "backend", None) is not None:
         # fail fast for report/experiment too, where the string would
         # otherwise only reach resolve_backend deep inside prefetch

@@ -83,8 +83,14 @@ class BatchEngine(FastEngine):
                 "on the fast engine")
         super().__init__(program, config, schemes=schemes)
         self._segment = segment
-        self._cols = segment.columns()
-        self._pos = 0
+        # the uniform decode seam: an eager segment is one window backed
+        # by its memoized columns (the historical fast path, decoded
+        # once and LRU-shared); a stream segment yields bounded windows,
+        # decoded as the loop reaches them
+        self._source = segment.window_source()
+        self._window = None  #: current TraceWindow (None before the first)
+        self._win_base = 0  #: absolute step offset of the current window
+        self._pos = 0  #: position *within* the current window
         self._halted = False
 
     # -- main loop ----------------------------------------------------------
@@ -95,21 +101,34 @@ class BatchEngine(FastEngine):
         The body is ``FastEngine._run_window`` with ``_account_timing``
         folded in, operating on hoisted locals and the flat columns; the
         equivalence suite asserts the transcription is exact.
+
+        Columns come one :class:`~repro.trace.format.TraceWindow` at a
+        time.  When the position runs off the current window's end the
+        loop top pulls the next window and rebinds the column locals; a
+        run-length run truncated at a window boundary simply resumes on
+        the slow path in the next window, which retires a plain record
+        bit-identically (the streaming equivalence suite pins this).
         """
-        cols = self._cols
-        pcs = cols.pc
-        nexts = cols.next_pc
-        kinds = cols.kind
-        auxs = cols.aux
-        rss = cols.rs
-        rts = cols.rt
-        rds = cols.rd
-        lats = cols.latency
-        flagss = cols.flags
-        idxs = cols.index
-        runs = cols.run
-        n_records = cols.steps
-        instrs = self._segment.instructions
+        source = self._source
+        instrs = source.instructions
+        window = self._window
+        win_base = self._win_base
+        if window is not None:
+            cols = window.columns()
+            pcs = cols.pc
+            nexts = cols.next_pc
+            kinds = cols.kind
+            auxs = cols.aux
+            rss = cols.rs
+            rts = cols.rt
+            rds = cols.rd
+            lats = cols.latency
+            flagss = cols.flags
+            idxs = cols.index
+            runs = cols.run
+            n_records = cols.steps
+        else:
+            n_records = 0  # the loop top binds the first window
 
         shared = self.shared
         page_shift = self._page_shift
@@ -166,11 +185,31 @@ class BatchEngine(FastEngine):
         try:
             while useful < budget and not halted:
                 if pos >= n_records:
-                    raise TraceError(
-                        f"trace exhausted after {pos:,} steps; the "
-                        "requested simulation window (warmup + "
-                        "instructions) is longer than the recorded one "
-                        "— re-record with a larger window")
+                    nxt = source.next_window()
+                    if nxt is None:
+                        raise TraceError(
+                            f"trace exhausted after {win_base + pos:,} "
+                            "steps; the "
+                            "requested simulation window (warmup + "
+                            "instructions) is longer than the recorded one "
+                            "— re-record with a larger window")
+                    win_base += n_records
+                    window = nxt
+                    cols = nxt.columns()
+                    pcs = cols.pc
+                    nexts = cols.next_pc
+                    kinds = cols.kind
+                    auxs = cols.aux
+                    rss = cols.rs
+                    rts = cols.rt
+                    rds = cols.rd
+                    lats = cols.latency
+                    flagss = cols.flags
+                    idxs = cols.index
+                    runs = cols.run
+                    n_records = cols.steps
+                    pos = 0
+                    continue
 
                 # ================= per-event slow path =================
                 # One record, full generality — mirrors FastEngine's
@@ -495,6 +534,8 @@ class BatchEngine(FastEngine):
         finally:
             # write the hoisted engine state back (also on the
             # trace-exhausted raise, so the instance stays coherent)
+            self._window = window
+            self._win_base = win_base
             self._pos = pos
             self._halted = halted
             self._last_vpn = last_vpn

@@ -45,6 +45,7 @@ from repro.telemetry.metrics import (
     collect,
     note_decode,
     note_engine,
+    note_stream_window,
 )
 
 __all__ = [
@@ -65,5 +66,6 @@ __all__ = [
     "level_name",
     "note_decode",
     "note_engine",
+    "note_stream_window",
     "span",
 ]

@@ -68,6 +68,14 @@ class JobMetrics:
     #: shared wall-clock phases but their full instruction count, so a
     #: member's throughput reads as the grid's *effective* throughput.
     grid_members: int = 0
+    #: windows produced by streaming decode (0 = every trace this job
+    #: touched decoded eagerly).  Streaming decode time folds into
+    #: ``decode_seconds`` while ``decode_cold`` stays 0 — the
+    #: cold-count/zero-seconds split is the tell for which path ran.
+    stream_windows: int = 0
+    #: largest single decoded window, in column bytes — the replay's
+    #: peak decode memory, which the window budget must bound
+    stream_peak_bytes: int = 0
 
     @property
     def instr_per_sec(self) -> Optional[float]:
@@ -127,6 +135,19 @@ def note_decode(seconds: float, *, cached: bool) -> None:
         _current.decode_seconds += seconds
 
 
+def note_stream_window(nbytes: int, seconds: float) -> None:
+    """Report one streaming-decode window into the current job: counts
+    it, tracks the peak window size, and folds the parse time into
+    ``decode_seconds`` (streamed traces decode *during* replay, but the
+    time is still decode time)."""
+    if _current is None:
+        return
+    _current.stream_windows += 1
+    if nbytes > _current.stream_peak_bytes:
+        _current.stream_peak_bytes = nbytes
+    _current.decode_seconds += seconds
+
+
 def note_engine(engine: str, seconds: float, instructions: int) -> None:
     """Report one engine pass into the current job."""
     if _current is None:
@@ -151,6 +172,8 @@ def aggregate(all_metrics: Iterable[Optional[JobMetrics]],
         "simulate_seconds": 0.0,
         "store_write_seconds": 0.0,
         "instructions": 0,
+        "stream_windows": 0,
+        "stream_peak_bytes": 0,
         "wall_seconds": wall_seconds,
     }
     for metrics in all_metrics:
@@ -164,6 +187,9 @@ def aggregate(all_metrics: Iterable[Optional[JobMetrics]],
         out["simulate_seconds"] += metrics.simulate_seconds
         out["store_write_seconds"] += metrics.store_write_seconds or 0.0
         out["instructions"] += metrics.instructions
+        out["stream_windows"] += metrics.stream_windows
+        if metrics.stream_peak_bytes > out["stream_peak_bytes"]:
+            out["stream_peak_bytes"] = metrics.stream_peak_bytes
     out["instr_per_sec"] = _finite_rate(out["instructions"],
                                         out["simulate_seconds"])
     return out

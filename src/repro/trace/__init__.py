@@ -24,13 +24,17 @@ names).  The ``repro trace`` CLI (``record`` / ``info`` / ``import`` /
 from repro.trace.format import (
     TRACE_VERSION,
     SegmentColumns,
+    StreamSegment,
+    StreamTraceFile,
     TraceFile,
     TraceReader,
     TraceSegment,
+    TraceWindow,
     TraceWriter,
     clear_trace_cache,
     file_digest,
     load_trace,
+    trace_window_bytes,
 )
 from repro.trace.importers import (
     ImportedTraceWorkload,
@@ -41,6 +45,7 @@ from repro.trace.importers import (
 from repro.trace.record import TraceRecorder, record_trace
 from repro.trace.replay import (
     ReplayProgram,
+    StreamingTraceExecutor,
     TraceExecutor,
     TraceWorkload,
     load_trace_workload,
@@ -49,10 +54,14 @@ from repro.trace.replay import (
 __all__ = [
     "TRACE_VERSION",
     "SegmentColumns",
+    "StreamSegment",
+    "StreamTraceFile",
+    "StreamingTraceExecutor",
     "TraceFile",
     "TraceReader",
     "TraceRecorder",
     "TraceSegment",
+    "TraceWindow",
     "TraceWorkload",
     "TraceWriter",
     "TraceExecutor",
@@ -66,4 +75,5 @@ __all__ = [
     "load_imported_workload",
     "load_trace_workload",
     "record_trace",
+    "trace_window_bytes",
 ]

@@ -278,6 +278,64 @@ COL_FLAG_CVTFI = 0x08     #: Opcode.CVTFI (FP op writing the int file)
 COL_FLAG_FLW = 0x10       #: Opcode.FLW (load filling the FP file)
 COL_FLAG_FSW = 0x20       #: Opcode.FSW (store reading the FP file)
 
+#: decoded-column footprint of one step record: 11 parallel ``array('q')``
+#: slots of 8 bytes each.  Window budgets (``REPRO_TRACE_WINDOW``, the
+#: byte-budgeted LRU) are stated in these bytes because the columns are
+#: what actually occupies memory during a batched replay.
+COLUMN_BYTES_PER_STEP = 88
+
+
+class _StaticTables:
+    """Per-static lookup tables, grown incrementally.
+
+    The column fill loop needs eight facts per interned instruction
+    (address, kind, operands, latency, flag bits, taken target).  An
+    eager decode builds them once for the whole segment; a streaming
+    decode appends as new statics arrive — statics always precede their
+    first referencing step, so tables extended through the end of a
+    window cover every record in it.  Lists only ever append, so column
+    views built against an earlier length stay valid.
+    """
+
+    __slots__ = ("pc", "kind", "rs", "rt", "rd", "lat", "flags", "target")
+
+    def __init__(self) -> None:
+        self.pc: List[int] = []
+        self.kind: List[int] = []
+        self.rs: List[int] = []
+        self.rt: List[int] = []
+        self.rd: List[int] = []
+        self.lat: List[int] = []
+        self.flags: List[int] = []
+        self.target: List[int] = []
+
+    def extend(self, instrs: List[Instruction]) -> None:
+        """Ingest every instruction past the already-tabled prefix."""
+        for instr in instrs[len(self.pc):]:
+            self.pc.append(instr.address)
+            self.kind.append(instr.kind_code)
+            self.rs.append(instr.rs)
+            self.rt.append(instr.rt)
+            self.rd.append(instr.rd)
+            self.lat.append(instr.latency)
+            flag = 0
+            if instr.is_boundary_branch:
+                flag |= COL_FLAG_BOUNDARY
+            if instr.inpage_hint:
+                flag |= COL_FLAG_INPAGE
+            op = instr.op
+            if op is Opcode.CVTIF:
+                flag |= COL_FLAG_CVTIF
+            elif op is Opcode.CVTFI:
+                flag |= COL_FLAG_CVTFI
+            elif op is Opcode.FLW:
+                flag |= COL_FLAG_FLW
+            elif op is Opcode.FSW:
+                flag |= COL_FLAG_FSW
+            self.flags.append(flag)
+            self.target.append(
+                -1 if instr.target is None else instr.target)
+
 
 class SegmentColumns:
     """Decode-once flat-array view of one segment's dynamic stream.
@@ -304,51 +362,42 @@ class SegmentColumns:
     ``run``       length of the maximal run of *plain* steps (kind in
                   :data:`PLAIN_KINDS`) starting at this slot — the
                   batch engine's run-length fast path consumes this many
-                  steps without per-step event checks
+                  steps without per-step event checks.  In a windowed
+                  view runs are truncated at the window end; the batch
+                  engine's slow path retires a plain record identically
+                  to the fast path, so the truncation is invisible in
+                  the results (the streaming bit-identity suite pins
+                  this).
 
     Columns are immutable once built and safe to share across engines
     (and, via the trace LRU, across jobs in one process).
+
+    Built either from a whole decoded segment (``SegmentColumns(seg)``)
+    or, on the streaming path, from one window's record batch plus the
+    stream's incremental :class:`_StaticTables`
+    (``SegmentColumns(tables=..., records=...)``).
     """
 
     __slots__ = ("pc", "next_pc", "kind", "aux", "rs", "rt", "rd",
                  "latency", "flags", "index", "run", "steps")
 
-    def __init__(self, segment: "TraceSegment") -> None:
-        instrs = segment.instructions
-        # per-static lookup tables (one pass over the interned table)
-        s_pc: List[int] = []
-        s_kind: List[int] = []
-        s_rs: List[int] = []
-        s_rt: List[int] = []
-        s_rd: List[int] = []
-        s_lat: List[int] = []
-        s_flags: List[int] = []
-        s_target: List[int] = []
-        for instr in instrs:
-            s_pc.append(instr.address)
-            s_kind.append(instr.kind_code)
-            s_rs.append(instr.rs)
-            s_rt.append(instr.rt)
-            s_rd.append(instr.rd)
-            s_lat.append(instr.latency)
-            flag = 0
-            if instr.is_boundary_branch:
-                flag |= COL_FLAG_BOUNDARY
-            if instr.inpage_hint:
-                flag |= COL_FLAG_INPAGE
-            op = instr.op
-            if op is Opcode.CVTIF:
-                flag |= COL_FLAG_CVTIF
-            elif op is Opcode.CVTFI:
-                flag |= COL_FLAG_CVTFI
-            elif op is Opcode.FLW:
-                flag |= COL_FLAG_FLW
-            elif op is Opcode.FSW:
-                flag |= COL_FLAG_FSW
-            s_flags.append(flag)
-            s_target.append(-1 if instr.target is None else instr.target)
+    def __init__(self, segment: Optional["TraceSegment"] = None, *,
+                 tables: Optional[_StaticTables] = None,
+                 records: Optional[List[Tuple[int, int]]] = None) -> None:
+        if segment is not None:
+            tables = _StaticTables()
+            tables.extend(segment.instructions)
+            records = segment.records
+        assert tables is not None and records is not None
+        s_pc = tables.pc
+        s_kind = tables.kind
+        s_rs = tables.rs
+        s_rt = tables.rt
+        s_rd = tables.rd
+        s_lat = tables.lat
+        s_flags = tables.flags
+        s_target = tables.target
 
-        records = segment.records
         n = len(records)
         self.steps = n
         pc = array("q", bytes(8 * n))
@@ -410,6 +459,70 @@ class SegmentColumns:
                                 "rd", "latency", "flags", "index", "run"))
 
 
+class TraceWindow:
+    """One bounded batch of a segment's step records.
+
+    ``records`` is the raw ``(static index, aux)`` batch (indices are
+    absolute into the source's growing instruction list), ``base`` its
+    absolute step offset in the segment.  :meth:`columns` builds — and
+    memoizes — the flat-array view lazily, so the scalar replay path
+    (which steps records directly) never pays for columns it does not
+    read.
+    """
+
+    __slots__ = ("records", "base", "_tables", "_columns", "_memoized")
+
+    def __init__(self, records: List[Tuple[int, int]], base: int, *,
+                 tables: Optional[_StaticTables] = None,
+                 memoized=None) -> None:
+        self.records = records
+        self.base = base
+        self._tables = tables
+        self._memoized = memoized
+        self._columns: Optional[SegmentColumns] = None
+
+    @property
+    def steps(self) -> int:
+        return len(self.records)
+
+    def nbytes(self) -> int:
+        """Decoded-column footprint of this window."""
+        return COLUMN_BYTES_PER_STEP * len(self.records)
+
+    def columns(self) -> SegmentColumns:
+        if self._columns is None:
+            if self._memoized is not None:
+                self._columns = self._memoized()
+            else:
+                self._columns = SegmentColumns(tables=self._tables,
+                                               records=self.records)
+        return self._columns
+
+
+class _EagerWindowSource:
+    """A fully-decoded segment presented as a single window.
+
+    The eager fast path of the streaming seam: engines consume every
+    segment through ``window_source()``, and a small (already-decoded)
+    trace costs exactly what it did before windows existed — one
+    memoized :class:`SegmentColumns`, no re-parse, no copies.
+    """
+
+    __slots__ = ("instructions", "_segment", "_emitted")
+
+    def __init__(self, segment: "TraceSegment") -> None:
+        self.instructions = segment.instructions
+        self._segment = segment
+        self._emitted = False
+
+    def next_window(self) -> Optional[TraceWindow]:
+        if self._emitted:
+            return None
+        self._emitted = True
+        return TraceWindow(self._segment.records, 0,
+                           memoized=self._segment.columns)
+
+
 @dataclass
 class TraceSegment:
     """One fully-decoded binary pass of a trace."""
@@ -440,6 +553,12 @@ class TraceSegment:
         if self._columns is None:
             self._columns = SegmentColumns(self)
         return self._columns
+
+    def window_source(self):
+        """The uniform decode seam: every engine consumes a segment as
+        a sequence of :class:`TraceWindow`\\ s.  A decoded segment is
+        one window backed by the memoized columns."""
+        return _EagerWindowSource(self)
 
     def describe(self) -> str:
         return (f"{self.binary}: {len(self.records):,} steps over "
@@ -508,6 +627,53 @@ class _StreamReader:
         return value
 
 
+def _open_trace(path: Path):
+    """Open ``path`` for reading, sniffing the gzip magic; returns
+    ``(fh, raw)`` where ``raw`` is the underlying file when wrapped."""
+    try:
+        raw = open(path, "rb")
+    except OSError as exc:
+        raise TraceError(f"cannot open trace {path}: {exc}") from exc
+    head = raw.read(2)
+    raw.seek(0)
+    if head == b"\x1f\x8b":
+        return gzip.GzipFile(fileobj=raw, mode="rb"), raw
+    return raw, None
+
+
+def _read_preamble(stream: _StreamReader, path: Path) -> dict:
+    magic, version, _flags, hlen = _PREAMBLE.unpack(
+        stream.exact(_PREAMBLE.size, "preamble"))
+    if magic != MAGIC:
+        raise TraceError(
+            f"{path}: not a repro trace (bad magic {magic!r})")
+    if version != TRACE_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace version {version} "
+            f"(this build reads version {TRACE_VERSION})")
+    return stream.json(hlen, "header")
+
+
+def _decode_static(payload: bytes, path: Path) -> Instruction:
+    address, opnum, rd, rs, rt, imm, target, flags = _STATIC.unpack(
+        payload)
+    op = _NUM_TO_OP.get(opnum)
+    if op is None:
+        raise TraceError(f"{path}: unknown opcode number {opnum}")
+    if op.kind in ANALYZABLE_KINDS and target == _NO_TARGET:
+        # direct control flow must carry its taken target or replay
+        # would produce a None next_pc deep inside the engine
+        raise TraceError(
+            f"{path}: direct control instruction "
+            f"({op.mnemonic}) at {address:#010x} has no target")
+    return Instruction(
+        op, rd=rd, rs=rs, rt=rt, imm=imm,
+        target=None if target == _NO_TARGET else target,
+        inpage_hint=bool(flags & _STATIC_FLAG_INPAGE),
+        is_boundary_branch=bool(flags & _STATIC_FLAG_BOUNDARY),
+        address=address)
+
+
 class TraceReader:
     """Parse a trace file; :meth:`read` decodes everything, and
     :meth:`info` summarizes without materializing instruction objects."""
@@ -516,27 +682,10 @@ class TraceReader:
         self.path = Path(path)
 
     def _open(self):
-        try:
-            raw = open(self.path, "rb")
-        except OSError as exc:
-            raise TraceError(f"cannot open trace {self.path}: {exc}") from exc
-        head = raw.read(2)
-        raw.seek(0)
-        if head == b"\x1f\x8b":
-            return gzip.GzipFile(fileobj=raw, mode="rb"), raw
-        return raw, None
+        return _open_trace(self.path)
 
     def _read_preamble(self, stream: _StreamReader) -> dict:
-        magic, version, _flags, hlen = _PREAMBLE.unpack(
-            stream.exact(_PREAMBLE.size, "preamble"))
-        if magic != MAGIC:
-            raise TraceError(
-                f"{self.path}: not a repro trace (bad magic {magic!r})")
-        if version != TRACE_VERSION:
-            raise TraceError(
-                f"{self.path}: unsupported trace version {version} "
-                f"(this build reads version {TRACE_VERSION})")
-        return stream.json(hlen, "header")
+        return _read_preamble(stream, self.path)
 
     def read(self) -> TraceFile:
         """Decode the whole trace into memory."""
@@ -595,23 +744,7 @@ class TraceReader:
                 raw.close()
 
     def _decode_static(self, payload: bytes) -> Instruction:
-        address, opnum, rd, rs, rt, imm, target, flags = _STATIC.unpack(
-            payload)
-        op = _NUM_TO_OP.get(opnum)
-        if op is None:
-            raise TraceError(f"{self.path}: unknown opcode number {opnum}")
-        if op.kind in ANALYZABLE_KINDS and target == _NO_TARGET:
-            # direct control flow must carry its taken target or replay
-            # would produce a None next_pc deep inside the engine
-            raise TraceError(
-                f"{self.path}: direct control instruction "
-                f"({op.mnemonic}) at {address:#010x} has no target")
-        return Instruction(
-            op, rd=rd, rs=rs, rt=rt, imm=imm,
-            target=None if target == _NO_TARGET else target,
-            inpage_hint=bool(flags & _STATIC_FLAG_INPAGE),
-            is_boundary_branch=bool(flags & _STATIC_FLAG_BOUNDARY),
-            address=address)
+        return _decode_static(payload, self.path)
 
     def info(self) -> dict:
         """Header plus per-segment step/static counts (full decode, but
@@ -632,6 +765,280 @@ class TraceReader:
                 for s in trace.segments
             ],
         }
+
+
+# ---------------------------------------------------------------------------
+# Streaming (windowed) decode
+# ---------------------------------------------------------------------------
+
+
+class _TraceScanner:
+    """Forward-only parser over an open trace stream.
+
+    Shared by the streaming window source (which decodes one segment's
+    records in bounded batches) and the stream-file segment index (which
+    only wants metadata).  gzip streams cannot seek, so reaching segment
+    *k* means parsing past segments ``0..k-1`` — :meth:`skip_segment_body`
+    does that without building a single :class:`Instruction` or record
+    tuple: statics are unpacked only far enough to learn each step's aux
+    payload size.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh, self._raw = _open_trace(self.path)
+        self.stream = _StreamReader(self._fh, self.path)
+        self.header = _read_preamble(self.stream, self.path)
+        self._done = False
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.close()
+        if self._raw is not None:
+            self._raw.close()
+        self._fh = None
+
+    def next_segment_meta(self) -> Optional[dict]:
+        """Consume the next ``TAG_SEGMENT`` and return its meta, or
+        ``None`` once ``TAG_END_TRACE`` is reached."""
+        if self._done:
+            return None
+        tag = self.stream.exact(1, "record tag")[0]
+        if tag == TAG_END_TRACE:
+            self._done = True
+            return None
+        if tag != TAG_SEGMENT:
+            raise TraceError(
+                f"{self.path}: record tag {tag:#x} outside a segment")
+        (mlen,) = _U32.unpack(self.stream.exact(4, "segment meta size"))
+        return self.stream.json(mlen, "segment meta")
+
+    def skip_segment_body(self) -> int:
+        """Consume the current segment's items undecoded; returns the
+        step count skipped."""
+        stream = self.stream
+        aux_kinds: List[int] = []
+        steps = 0
+        while True:
+            tag = stream.exact(1, "record tag")[0]
+            if tag == TAG_END_SEGMENT:
+                return steps
+            if tag == TAG_STATIC:
+                payload = stream.exact(_STATIC.size, "static entry")
+                opnum = payload[4]  # <I address, then B op
+                op = _NUM_TO_OP.get(opnum)
+                if op is None:
+                    raise TraceError(
+                        f"{self.path}: unknown opcode number {opnum}")
+                aux_kinds.append(aux_kind(int(op.kind)))
+            elif tag == TAG_STEP:
+                (index,) = _U32.unpack(stream.exact(4, "step index"))
+                if index >= len(aux_kinds):
+                    raise TraceError(
+                        f"{self.path}: step references static entry "
+                        f"{index} before its definition")
+                kind = aux_kinds[index]
+                if kind == AUX_TAKEN:
+                    stream.exact(1, "branch outcome")
+                elif kind in (AUX_NEXT_PC, AUX_MEM_ADDR):
+                    stream.exact(4, "step payload")
+                steps += 1
+            else:
+                raise TraceError(
+                    f"{self.path}: unknown record tag {tag:#x}")
+
+
+class _StreamWindowSource:
+    """Yields one segment's stream as bounded :class:`TraceWindow`\\ s.
+
+    Each source owns its file handle, interned-instruction list, and
+    static tables — two sources over the same :class:`StreamSegment`
+    (say, the plain and instrumented passes of one job, or a retry)
+    never share mutable state.  ``instructions`` grows in place as
+    statics arrive, so an engine may bind it once: indices in earlier
+    windows stay valid forever.
+    """
+
+    def __init__(self, path: Union[str, Path], ordinal: int,
+                 window_steps: int) -> None:
+        self.instructions: List[Instruction] = []
+        self._tables = _StaticTables()
+        self._window_steps = max(1, window_steps)
+        self._base = 0
+        self._aux_kinds: List[int] = []
+        self._exhausted = False
+        self._scanner = _TraceScanner(path)
+        seen = 0
+        while True:
+            meta = self._scanner.next_segment_meta()
+            if meta is None:
+                raise TraceError(
+                    f"{self._scanner.path}: trace holds only {seen} "
+                    f"segment(s); segment #{ordinal} disappeared between "
+                    "the index scan and the decode — was the file "
+                    "rewritten mid-run?")
+            if seen == ordinal:
+                break
+            self._scanner.skip_segment_body()
+            seen += 1
+
+    def close(self) -> None:
+        self._exhausted = True
+        self._scanner.close()
+
+    def next_window(self) -> Optional[TraceWindow]:
+        """Decode up to the window budget of step records; ``None`` once
+        the segment is exhausted (the file handle closes with it)."""
+        if self._exhausted:
+            return None
+        from repro.telemetry import emit, note_stream_window
+        started = time.perf_counter()
+        path = self._scanner.path
+        stream = self._scanner.stream
+        instrs = self.instructions
+        aux_kinds = self._aux_kinds
+        records: List[Tuple[int, int]] = []
+        limit = self._window_steps
+        while len(records) < limit:
+            tag = stream.exact(1, "record tag")[0]
+            if tag == TAG_END_SEGMENT:
+                self.close()
+                break
+            if tag == TAG_STATIC:
+                instr = _decode_static(
+                    stream.exact(_STATIC.size, "static entry"), path)
+                instrs.append(instr)
+                aux_kinds.append(aux_kind(instr.kind_code))
+            elif tag == TAG_STEP:
+                (index,) = _U32.unpack(stream.exact(4, "step index"))
+                if index >= len(aux_kinds):
+                    raise TraceError(
+                        f"{path}: step references static entry "
+                        f"{index} before its definition")
+                kind = aux_kinds[index]
+                if kind == AUX_TAKEN:
+                    aux = stream.exact(1, "branch outcome")[0]
+                elif kind in (AUX_NEXT_PC, AUX_MEM_ADDR):
+                    (aux,) = _U32.unpack(stream.exact(4, "step payload"))
+                else:
+                    aux = -1
+                records.append((index, aux))
+            else:
+                raise TraceError(
+                    f"{path}: unknown record tag {tag:#x}")
+        if not records:
+            return None
+        self._tables.extend(instrs)
+        window = TraceWindow(records, self._base, tables=self._tables)
+        self._base += len(records)
+        note_stream_window(window.nbytes(),
+                           time.perf_counter() - started)
+        emit("trace.stream_window", level="debug", path=str(path),
+             base=window.base, steps=len(records),
+             bytes=window.nbytes())
+        return window
+
+
+@dataclass
+class StreamSegment:
+    """One binary pass of a trace, decoded on demand in bounded windows.
+
+    Structurally a :class:`TraceSegment` stand-in everywhere replay
+    needs one — ``meta``/``binary``/``page_bytes`` for geometry, and
+    ``window_source()`` as the decode seam — but it holds no records:
+    each source re-reads the file forward, keeping at most one window's
+    columns alive.
+    """
+
+    path: Path
+    meta: dict
+    #: position of this segment in the file (gzip cannot seek, so the
+    #: source skip-parses earlier segments to reach it)
+    ordinal: int
+    #: window budget, in step records (derived from the byte budget)
+    window_steps: int
+
+    @property
+    def binary(self) -> str:
+        return self.meta.get("binary", "plain")
+
+    @property
+    def page_bytes(self) -> int:
+        return self.meta["page_bytes"]
+
+    def window_source(self) -> _StreamWindowSource:
+        return _StreamWindowSource(self.path, self.ordinal,
+                                   self.window_steps)
+
+    def describe(self) -> str:
+        return (f"{self.binary}: streaming decode, "
+                f"{self.window_steps:,}-step windows "
+                f"({self.meta.get('name', '?')}, "
+                f"{self.page_bytes}-byte pages)")
+
+
+class StreamTraceFile:
+    """A trace opened for windowed decode: header read eagerly, segment
+    bodies never held in memory.
+
+    Mirrors the :class:`TraceFile` surface replay consumes
+    (``workload_name``, ``segment_for``, ``segments``) so
+    :class:`~repro.trace.replay.TraceWorkload` works unchanged; the
+    segment index is a decode-less skip-parse of the file, done once on
+    first need and cached.
+    """
+
+    def __init__(self, path: Union[str, Path], window_steps: int) -> None:
+        self.path = Path(path)
+        self.window_steps = max(1, window_steps)
+        scanner = _TraceScanner(self.path)
+        try:
+            self.header = scanner.header
+        finally:
+            scanner.close()
+        self._metas: Optional[List[dict]] = None
+
+    @property
+    def workload_name(self) -> str:
+        return self.header.get("workload", str(self.path))
+
+    def _segment_metas(self) -> List[dict]:
+        if self._metas is None:
+            metas: List[dict] = []
+            scanner = _TraceScanner(self.path)
+            try:
+                while True:
+                    meta = scanner.next_segment_meta()
+                    if meta is None:
+                        break
+                    metas.append(meta)
+                    scanner.skip_segment_body()
+            finally:
+                scanner.close()
+            self._metas = metas
+        return self._metas
+
+    @property
+    def segments(self) -> List[StreamSegment]:
+        return [StreamSegment(self.path, meta, i, self.window_steps)
+                for i, meta in enumerate(self._segment_metas())]
+
+    def segment_for(self, *, instrumented: bool,
+                    page_bytes: int) -> StreamSegment:
+        wanted = "instrumented" if instrumented else "plain"
+        metas = self._segment_metas()
+        for i, meta in enumerate(metas):
+            if (meta.get("binary", "plain") == wanted
+                    and meta.get("page_bytes") == page_bytes):
+                return StreamSegment(self.path, meta, i, self.window_steps)
+        have = ", ".join(
+            f"{m.get('binary', 'plain')}@{m.get('page_bytes')}B"
+            for m in metas) or "none"
+        raise TraceError(
+            f"{self.path}: no {wanted} segment for {page_bytes}-byte pages "
+            f"(trace contains: {have}); re-record the trace for this "
+            "configuration")
 
 
 # ---------------------------------------------------------------------------
@@ -669,6 +1076,50 @@ def file_digest(path: Union[str, Path]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Decode policy (eager vs streaming)
+# ---------------------------------------------------------------------------
+
+#: traces whose file is at or below this size always decode eagerly
+#: when no explicit window is forced: the decoded columns of a small
+#: trace cost less than re-parsing it per engine pass, and the LRU
+#: makes the decode free across a sweep's jobs
+STREAM_THRESHOLD_BYTES = 16 << 20
+
+#: window byte budget used when a trace auto-streams (file larger than
+#: the threshold, no ``REPRO_TRACE_WINDOW`` override)
+DEFAULT_WINDOW_BYTES = 32 << 20
+
+
+def parse_byte_size(raw) -> Optional[int]:
+    """``"64m"`` / ``"512k"`` / ``"1g"`` / plain integers → bytes.
+    ``None`` for unset, unparsable, or non-positive values — a
+    misspelled environment variable must not fail every sweep."""
+    if raw is None:
+        return None
+    text = str(raw).strip().lower()
+    if not text:
+        return None
+    scale = 1
+    if text[-1] in "kmg":
+        scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        return None
+    return value * scale if value > 0 else None
+
+
+def trace_window_bytes() -> Optional[int]:
+    """The forced streaming window: ``$REPRO_TRACE_WINDOW`` parsed as a
+    byte size (``k``/``m``/``g`` suffixes accepted).  ``None`` when
+    unset — the size-threshold policy decides.  Pool and queue workers
+    inherit the parent's environment, so one export (or the CLI's
+    ``--trace-window``) sizes a whole fleet."""
+    return parse_byte_size(os.environ.get("REPRO_TRACE_WINDOW"))
+
+
+# ---------------------------------------------------------------------------
 # Decoded-trace memoization
 # ---------------------------------------------------------------------------
 
@@ -680,6 +1131,28 @@ def file_digest(path: Union[str, Path]) -> str:
 #: (pool and queue workers inherit the parent's environment, so one
 #: export sizes the whole fleet).
 TRACE_CACHE_CAPACITY = 8
+
+#: decoded-byte budget for the LRU; 0 = unbounded (the entry cap alone
+#: governs).  Override per process with ``REPRO_TRACE_LRU_BYTES`` —
+#: a handful of huge traces can blow memory while staying comfortably
+#: under the 8-entry cap, and a byte budget is the honest unit.
+TRACE_CACHE_BYTES = 0
+
+
+def trace_cache_bytes() -> int:
+    """The effective LRU byte budget: ``$REPRO_TRACE_LRU_BYTES`` when
+    set to a parsable positive size (``k``/``m``/``g`` suffixes), else
+    :data:`TRACE_CACHE_BYTES` (0 = no byte bound)."""
+    value = parse_byte_size(os.environ.get("REPRO_TRACE_LRU_BYTES"))
+    return value if value else TRACE_CACHE_BYTES
+
+
+def _trace_nbytes(trace: TraceFile) -> int:
+    """Decoded-column footprint estimate of one cached trace: the flat
+    columns dominate the decoded form, so the byte-budgeted eviction
+    charges :data:`COLUMN_BYTES_PER_STEP` per step record."""
+    return sum(COLUMN_BYTES_PER_STEP * len(segment.records)
+               for segment in trace.segments)
 
 
 def trace_cache_capacity() -> int:
@@ -704,8 +1177,8 @@ def trace_cache_capacity() -> int:
 _TRACE_LRU: "OrderedDict[Tuple[str, str], TraceFile]" = OrderedDict()
 
 
-def load_trace(path: Union[str, Path], *, use_cache: bool = True
-               ) -> TraceFile:
+def load_trace(path: Union[str, Path], *, use_cache: bool = True,
+               stream=None) -> Union[TraceFile, StreamTraceFile]:
     """Read and decode ``path``, memoizing per process.
 
     A six-config sweep over one trace used to gunzip and re-decode the
@@ -714,8 +1187,41 @@ def load_trace(path: Union[str, Path], *, use_cache: bool = True
     :class:`TraceFile` — and therefore a single set of flat
     :class:`SegmentColumns`.  The cached object is shared, never copied:
     segments and their columns are read-only to every consumer.
-    ``use_cache=False`` forces a fresh decode (diagnostics/tests)."""
+    ``use_cache=False`` forces a fresh decode (diagnostics/tests).
+
+    ``stream`` selects the decode strategy:
+
+    * ``None`` (default) — policy: a ``$REPRO_TRACE_WINDOW`` byte
+      budget forces windowed streaming at that window size; otherwise
+      files above :data:`STREAM_THRESHOLD_BYTES` stream with
+      :data:`DEFAULT_WINDOW_BYTES` windows and smaller files decode
+      eagerly (the historical behaviour, bit for bit).
+    * ``False`` — always eager (bench's decode-excluded views).
+    * ``True`` or an ``int`` byte budget — always streaming.
+
+    A streamed trace returns a :class:`StreamTraceFile`: nothing is
+    decoded up front and nothing enters the LRU — each engine pass
+    re-reads the file forward, holding at most one window's columns,
+    so replay memory is bounded by the window budget instead of the
+    trace.  Results are bit-identical either way (the streaming
+    equivalence suite pins this)."""
     from repro.telemetry import emit, note_decode
+    if stream is None:
+        stream = trace_window_bytes()
+        if stream is None:
+            try:
+                size = os.stat(str(path)).st_size
+            except OSError:
+                size = 0
+            stream = DEFAULT_WINDOW_BYTES \
+                if size > STREAM_THRESHOLD_BYTES else False
+    if stream:
+        window_bytes = DEFAULT_WINDOW_BYTES if stream is True else int(stream)
+        window_steps = max(1, window_bytes // COLUMN_BYTES_PER_STEP)
+        trace = StreamTraceFile(path, window_steps)
+        emit("trace.stream_open", level="debug", path=str(path),
+             window_bytes=window_bytes, window_steps=window_steps)
+        return trace
     if not use_cache:
         return TraceReader(path).read()
     key = (os.path.realpath(str(path)), file_digest(path))
@@ -733,10 +1239,19 @@ def load_trace(path: Union[str, Path], *, use_cache: bool = True
          seconds=round(elapsed, 6), segments=len(trace.segments))
     _TRACE_LRU[key] = trace
     capacity = trace_cache_capacity()
-    while len(_TRACE_LRU) > capacity:
-        evicted_key, _ = _TRACE_LRU.popitem(last=False)
+    budget = trace_cache_bytes()
+    total = (sum(_trace_nbytes(t) for t in _TRACE_LRU.values())
+             if budget else 0)
+    # the newest entry always survives: evicting the trace the caller
+    # is about to replay would only guarantee an immediate re-decode
+    while (len(_TRACE_LRU) > capacity
+           or (budget and total > budget and len(_TRACE_LRU) > 1)):
+        evicted_key, evicted = _TRACE_LRU.popitem(last=False)
+        freed = _trace_nbytes(evicted)
+        total -= freed
         emit("trace.lru_evict", level="debug", path=evicted_key[0],
-             capacity=capacity)
+             capacity=capacity, bytes_freed=freed,
+             budget_bytes=budget or None)
     return trace
 
 

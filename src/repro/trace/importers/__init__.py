@@ -5,12 +5,14 @@ The paper's energy claims carry weight against instruction streams from
 replay here.  Each :class:`~repro.trace.importers.base.Importer`
 understands one foreign format and is registered by name:
 
-========  ==========================================================
-``eio``   SimpleScalar-style (PISA) text trace
-          (:mod:`repro.trace.importers.eio`)
-``gem5``  gem5 ``Exec`` debug output
-          (:mod:`repro.trace.importers.gem5`)
-========  ==========================================================
+============  ======================================================
+``champsim``  ChampSim 64-byte binary records
+              (:mod:`repro.trace.importers.champsim`)
+``eio``       SimpleScalar-style (PISA) text trace
+              (:mod:`repro.trace.importers.eio`)
+``gem5``      gem5 ``Exec`` debug output
+              (:mod:`repro.trace.importers.gem5`)
+============  ======================================================
 
 Two entry paths share the same conversion core
 (:mod:`repro.trace.importers.base`):
@@ -39,6 +41,7 @@ from repro.trace.importers.base import (
     ImportedTraceWorkload,
     convert_trace,
 )
+from repro.trace.importers.champsim import ChampSimImporter
 from repro.trace.importers.eio import EIOImporter
 from repro.trace.importers.gem5 import Gem5Importer
 
@@ -84,6 +87,7 @@ def load_imported_workload(format_name: str, path,
                                  **options)
 
 
+register_format(ChampSimImporter())
 register_format(EIOImporter())
 register_format(Gem5Importer())
 

@@ -22,13 +22,19 @@ not contain — and fails with a :class:`~repro.errors.TraceError`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.cpu.functional import StepResult
 from repro.errors import ExecutionError, TraceError
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
-from repro.trace.format import TraceFile, TraceSegment, load_trace
+from repro.trace.format import (
+    StreamSegment,
+    StreamTraceFile,
+    TraceFile,
+    TraceSegment,
+    load_trace,
+)
 from repro.workloads.synthetic import WorkloadProfile
 
 
@@ -43,6 +49,7 @@ class TraceExecutor:
         self._instrs: List[Instruction] = segment.instructions
         self._records: List[Tuple[int, int]] = segment.records
         self._pos = 0
+        self._base = 0  #: absolute step offset of ``_records[0]``
         self.retired = 0
         self.halted = False
         # the pc the engine observes before each step: the next record's
@@ -51,12 +58,19 @@ class TraceExecutor:
         self.pc = (self._instrs[self._records[0][0]].address
                    if self._records else 0)
 
+    def _next_batch(self) -> bool:
+        """Advance to the next record batch; ``False`` at stream end.
+        The eager executor holds the whole segment — there is never a
+        next batch."""
+        return False
+
     def step(self) -> StepResult:
         if self.halted:
             raise ExecutionError("stepping a halted executor")
-        if self._pos >= len(self._records):
+        if self._pos >= len(self._records) and not self._next_batch():
             raise TraceError(
-                f"trace exhausted after {self._pos:,} steps; the requested "
+                f"trace exhausted after {self._base + self._pos:,} steps; "
+                "the requested "
                 "simulation window (warmup + instructions) is longer than "
                 "the recorded one — re-record with a larger window")
         index, aux = self._records[self._pos]
@@ -105,6 +119,59 @@ class TraceExecutor:
         return len(self._records) - self._pos
 
 
+class StreamingTraceExecutor(TraceExecutor):
+    """A :class:`TraceExecutor` over a windowed stream.
+
+    Produces the identical :class:`~repro.cpu.functional.StepResult`
+    sequence while holding only the current window's records (plus the
+    growing interned-instruction list, which the format bounds by the
+    number of *distinct* instructions, not the stream length).
+
+    The stream is opened lazily, on the first ``pc`` read or ``step()``
+    — :class:`~repro.cpu.batch.BatchEngine` constructs an executor it
+    never steps (it inherits :class:`~repro.cpu.fast.FastEngine`'s
+    constructor), and that executor must not cost a file handle and a
+    skip-parse of the trace.
+    """
+
+    def __init__(self, segment: StreamSegment) -> None:
+        self._source = segment.window_source()
+        self._instrs = self._source.instructions
+        self._records: List[Tuple[int, int]] = []
+        self._pos = 0
+        self._base = 0
+        self.retired = 0
+        self.halted = False
+        self._pc: Optional[int] = None  # resolved on first read
+
+    def _next_batch(self) -> bool:
+        window = self._source.next_window()
+        if window is None:
+            return False
+        self._base += len(self._records)
+        self._records = window.records
+        self._pos = 0
+        return True
+
+    # ``pc`` turns into a lazy property: the first read primes the
+    # stream so it can report the first record's address, exactly as the
+    # eager executor does from its constructor.  ``step()`` assigns
+    # ``self.pc`` per retire, hence the setter.
+
+    @property
+    def pc(self) -> int:
+        if self._pc is None:
+            if self._pos >= len(self._records):
+                self._next_batch()
+            self._pc = (self._instrs[self._records[self._pos][0]].address
+                        if self._pos < len(self._records) else 0)
+        return self._pc
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self._pc = value
+
+
 class ReplayProgram(Program):
     """A program reconstructed from a trace segment's metadata.
 
@@ -114,7 +181,8 @@ class ReplayProgram(Program):
     sees the committed stream.
     """
 
-    def __init__(self, segment: TraceSegment) -> None:
+    def __init__(self,
+                 segment: Union[TraceSegment, StreamSegment]) -> None:
         meta = segment.meta
         super().__init__(
             text_base=meta["text_base"],
@@ -148,7 +216,9 @@ class ReplayProgram(Program):
             "wrong-path consumers cannot run a trace — use the fast engine")
 
     def make_executor(self, space) -> TraceExecutor:
-        return TraceExecutor(self.segment)
+        if isinstance(self.segment, TraceSegment):
+            return TraceExecutor(self.segment)
+        return StreamingTraceExecutor(self.segment)
 
 
 class TraceWorkload:
@@ -159,7 +229,8 @@ class TraceWorkload:
     and bit-identical to — the live run it captures.
     """
 
-    def __init__(self, path: Union[str, Path], trace: TraceFile) -> None:
+    def __init__(self, path: Union[str, Path],
+                 trace: Union[TraceFile, StreamTraceFile]) -> None:
         self.path = Path(path)
         self.trace = trace
         self.profile = WorkloadProfile(name=trace.workload_name)

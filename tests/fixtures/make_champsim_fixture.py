@@ -1,0 +1,103 @@
+"""Regenerates ``branchy.champsim.bin.gz`` — the checked-in ChampSim
+binary fixture.
+
+A synthetic but control-flow-realistic stream: a counted loop whose
+body mixes ALU work, strided loads and stores, a sometimes-taken
+forward conditional, a call/return pair, and a final indirect jump —
+every ChampSim classification exercised, every ip 4-byte-aligned (the
+importable subset), every static pc classified identically on every
+dynamic instance.  Deterministic bytes (gzip mtime pinned to zero):
+re-running this script must reproduce the committed fixture exactly.
+
+Run from the repository root::
+
+    python tests/fixtures/make_champsim_fixture.py
+"""
+
+import gzip
+import struct
+from pathlib import Path
+
+RECORD = struct.Struct("<QBB2B4B2Q4Q")
+
+SP = 6    # REG_STACK_POINTER
+FLAGS = 25  # REG_FLAGS
+IP = 26   # REG_INSTRUCTION_POINTER
+
+TEXT = 0x400000
+FUNC = TEXT + 0x100
+LOADS = 0x1000_0000
+STORES = 0x2000_0000
+ITERATIONS = 120
+
+
+def rec(ip, is_branch=0, taken=0, dregs=(0, 0), sregs=(0, 0, 0, 0),
+        dmem=(0, 0), smem=(0, 0, 0, 0)):
+    return RECORD.pack(ip, is_branch, taken, *dregs, *sregs, *dmem, *smem)
+
+
+def alu(ip, rd=3, rs=1, rt=2):
+    return rec(ip, dregs=(rd, 0), sregs=(rs, rt, 0, 0))
+
+
+def load(ip, addr):
+    return rec(ip, dregs=(4, 0), sregs=(7, 0, 0, 0),
+               smem=(addr, 0, 0, 0))
+
+
+def store(ip, addr):
+    return rec(ip, sregs=(4, 7, 0, 0), dmem=(addr, 0))
+
+
+def cond_branch(ip, taken):
+    return rec(ip, is_branch=1, taken=int(taken), dregs=(IP, 0),
+               sregs=(FLAGS, 0, 0, 0))
+
+
+def call(ip):
+    return rec(ip, is_branch=1, taken=1, dregs=(IP, SP),
+               sregs=(IP, SP, 0, 0))
+
+
+def ret(ip):
+    return rec(ip, is_branch=1, taken=1, dregs=(IP, SP),
+               sregs=(SP, 0, 0, 0))
+
+
+def indirect_jump(ip):
+    return rec(ip, is_branch=1, taken=1, dregs=(IP, 0),
+               sregs=(1, 0, 0, 0))
+
+
+def stream():
+    yield alu(TEXT)  # entry
+    for i in range(ITERATIONS):
+        yield load(TEXT + 0x04, LOADS + (i % 32) * 64)
+        yield alu(TEXT + 0x08, rd=5, rs=4, rt=3)
+        yield store(TEXT + 0x0C, STORES + (i % 16) * 4)
+        skip = i % 3 == 0  # forward branch over the two filler ALUs
+        yield cond_branch(TEXT + 0x10, taken=skip)
+        if not skip:
+            yield alu(TEXT + 0x14, rd=8, rs=8, rt=1)
+            yield alu(TEXT + 0x18, rd=9, rs=9, rt=1)
+        yield call(TEXT + 0x1C)
+        yield alu(FUNC, rd=2, rs=2, rt=1)
+        yield load(FUNC + 0x04, LOADS + 0x4000 + (i % 8) * 256)
+        yield ret(FUNC + 0x08)
+        yield alu(TEXT + 0x20, rd=1, rs=1, rt=2)
+        yield cond_branch(TEXT + 0x24, taken=i + 1 < ITERATIONS)
+    yield indirect_jump(TEXT + 0x28)
+    yield alu(TEXT + 0x30, rd=3, rs=3, rt=3)
+    yield alu(TEXT + 0x34, rd=3, rs=3, rt=3)  # final record: not a branch
+
+
+def main():
+    out = Path(__file__).parent / "branchy.champsim.bin.gz"
+    payload = b"".join(stream())
+    out.write_bytes(gzip.compress(payload, mtime=0))
+    print(f"{out}: {len(payload) // RECORD.size} records, "
+          f"{out.stat().st_size} bytes compressed")
+
+
+if __name__ == "__main__":
+    main()

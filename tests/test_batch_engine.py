@@ -465,13 +465,19 @@ class TestBenchHarness:
         assert {(r.mode, r.engine) for r in records} == {
             ("engine", "scalar"), ("engine", "batch"),
             ("job", "scalar"), ("job", "batch"),
-            ("grid", "scalar"), ("grid", "batch")}
+            ("grid", "scalar"), ("grid", "batch"),
+            ("stream", "eager"), ("stream", "windowed")}
         for record in records:
             assert record.instr_per_sec > 0
             assert record.best_seconds > 0
             assert record.instructions > 0
+        # the stream rows carry the memory story: the windowed pass
+        # must decode strictly less at a time than the eager one
+        peaks = {r.engine: r.peak_window_bytes for r in records
+                 if r.mode == "stream"}
+        assert 0 < peaks["windowed"] < peaks["eager"]
         ratios = speedups(records)["177.mesa"]
-        assert set(ratios) == {"engine", "job", "grid"}
+        assert set(ratios) == {"engine", "job", "grid", "stream"}
         payload = {"speedups": {"177.mesa": ratios}}
         # an absurd floor fails, a zero floor passes
         assert check_floor(payload, 1e9)

@@ -39,10 +39,12 @@ GOLDEN_FILE = Path(__file__).parent / "golden" / "imported.json"
 
 #: per-format checked-in fixture and its golden replay window
 FIXTURE_FOR = {
+    "champsim": FIXTURES / "branchy.champsim.bin.gz",
     "eio": FIXTURES / "twopage.eio.txt",
     "gem5": FIXTURES / "loopcall.gem5.txt.gz",
 }
-WINDOW_FOR = {"eio": (900, 200), "gem5": (800, 150)}
+WINDOW_FOR = {"champsim": (900, 200), "eio": (900, 200),
+              "gem5": (800, 150)}
 
 
 def _canonical(run) -> str:
@@ -73,8 +75,8 @@ def _gem5_line(tick, pc, disasm, opclass, extra=""):
 
 
 class TestFormatRegistry:
-    def test_both_builtin_formats_present(self):
-        assert {"eio", "gem5"} <= set(available_formats())
+    def test_builtin_formats_present(self):
+        assert {"champsim", "eio", "gem5"} <= set(available_formats())
 
     def test_unknown_format_lists_alternatives(self):
         with pytest.raises(TraceError, match="eio.*gem5|gem5.*eio"):
@@ -425,6 +427,141 @@ class TestGem5Semantics:
         assert len(dests) == 2 and dests[0] != dests[1]
 
 
+class TestChampSimBinary:
+    """The ChampSim importer: 64-byte record parsing, register-derived
+    classification, lookahead targets, and the malformed-input space
+    unique to a binary format (truncation, misalignment, EOF
+    transfers)."""
+
+    @staticmethod
+    def _rec(ip, is_branch=0, taken=0, dregs=(0, 0),
+             sregs=(0, 0, 0, 0), dmem=(0, 0), smem=(0, 0, 0, 0)):
+        import struct
+        return struct.pack("<QBB2B4B2Q4Q", ip, is_branch, taken,
+                           *dregs, *sregs, *dmem, *smem)
+
+    def _file(self, tmp_path, payload: bytes) -> Path:
+        path = tmp_path / "case.champsim.bin"
+        path.write_bytes(payload)
+        return path
+
+    def _alu(self, ip):
+        return self._rec(ip, dregs=(3, 0), sregs=(1, 2, 0, 0))
+
+    def test_classification_per_register_convention(self, tmp_path):
+        """Each register pattern lands on the documented kind."""
+        from repro.isa.instructions import InstrKind
+        from repro.trace.importers.champsim import (
+            REG_FLAGS, REG_INSTRUCTION_POINTER, REG_STACK_POINTER)
+        importer = get_importer("champsim")
+        IP, SP, FL = (REG_INSTRUCTION_POINTER, REG_STACK_POINTER,
+                      REG_FLAGS)
+        payload = b"".join([
+            self._rec(0x1000, is_branch=1, taken=1, dregs=(IP, 0),
+                      sregs=(FL, 0, 0, 0)),              # cond, taken
+            self._rec(0x2000, is_branch=1, taken=1, dregs=(IP, SP),
+                      sregs=(IP, SP, 0, 0)),             # direct call
+            self._rec(0x3000, is_branch=1, taken=1, dregs=(IP, 0),
+                      sregs=(IP, 0, 0, 0)),              # direct jump
+            self._rec(0x4000, is_branch=1, taken=1, dregs=(IP, 0),
+                      sregs=(SP, 0, 0, 0)),              # return
+            self._rec(0x5000, is_branch=1, taken=1, dregs=(IP, SP),
+                      sregs=(1, 0, 0, 0)),               # indirect call
+            self._rec(0x6000, is_branch=1, taken=1, dregs=(IP, 0),
+                      sregs=(1, 0, 0, 0)),               # indirect jump
+            self._rec(0x7000, smem=(0x9000, 0, 0, 0)),   # load
+            self._rec(0x8000, dmem=(0x9100, 0)),         # store
+            self._alu(0x9000),                           # plain alu
+        ])
+        events = list(importer.events(self._file(tmp_path, payload)))
+        kinds = [e.kind for e in events]
+        assert kinds == [
+            InstrKind.COND_BRANCH, InstrKind.CALL, InstrKind.JUMP,
+            InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL,
+            InstrKind.INDIRECT_JUMP, InstrKind.LOAD, InstrKind.STORE,
+            InstrKind.INT_ALU,
+        ]
+        # lookahead: every transfer's destination is the next record's ip
+        assert events[0].target == 0x2000
+        assert events[1].target == 0x3000
+        assert events[2].target == 0x4000
+        assert events[3].next_pc == 0x5000
+        assert events[6].mem_addr == 0x9000
+        assert events[7].mem_addr == 0x9100
+
+    def test_not_taken_conditional_needs_no_lookahead_target(
+            self, tmp_path):
+        from repro.trace.importers.champsim import (
+            REG_FLAGS, REG_INSTRUCTION_POINTER)
+        importer = get_importer("champsim")
+        payload = b"".join([
+            self._rec(0x1000, is_branch=1, taken=0,
+                      dregs=(REG_INSTRUCTION_POINTER, 0),
+                      sregs=(REG_FLAGS, 0, 0, 0)),
+            self._alu(0x1004),
+        ])
+        events = list(importer.events(self._file(tmp_path, payload)))
+        assert events[0].taken is False and events[0].target is None
+
+    def test_empty_file_is_typed_error(self, tmp_path):
+        with pytest.raises(TraceError, match="no instructions"):
+            import_trace("champsim", self._file(tmp_path, b""),
+                         tmp_path / "out.trace")
+
+    def test_truncated_record_is_typed_error(self, tmp_path):
+        payload = self._alu(0x1000) + self._alu(0x1004)[:40]
+        with pytest.raises(TraceError, match="truncated record"):
+            import_trace("champsim", self._file(tmp_path, payload),
+                         tmp_path / "out.trace")
+        assert not (tmp_path / "out.trace").exists()
+
+    def test_misaligned_ip_is_typed_error(self, tmp_path):
+        payload = self._alu(0x1000) + self._alu(0x1002)
+        with pytest.raises(TraceError, match="misaligned pc"):
+            import_trace("champsim", self._file(tmp_path, payload),
+                         tmp_path / "out.trace")
+
+    def test_taken_transfer_as_final_record_is_typed_error(
+            self, tmp_path):
+        from repro.trace.importers.champsim import (
+            REG_FLAGS, REG_INSTRUCTION_POINTER)
+        payload = self._alu(0x1000) + self._rec(
+            0x1004, is_branch=1, taken=1,
+            dregs=(REG_INSTRUCTION_POINTER, 0),
+            sregs=(REG_FLAGS, 0, 0, 0))
+        with pytest.raises(TraceError, match="final record"):
+            import_trace("champsim", self._file(tmp_path, payload),
+                         tmp_path / "out.trace")
+
+    def test_missing_source_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot open"):
+            import_trace("champsim", tmp_path / "absent.bin",
+                         tmp_path / "out.trace")
+
+    def test_gzip_and_xz_sources_are_sniffed(self, tmp_path):
+        import lzma
+        payload = self._alu(0x1000) + self._alu(0x1004)
+        for suffixless, data in (("zipped", gzip.compress(payload)),
+                                 ("xzed", lzma.compress(payload))):
+            path = tmp_path / suffixless  # no telltale suffix on purpose
+            path.write_bytes(data)
+            info = import_trace("champsim", path,
+                                tmp_path / f"{suffixless}.trace")
+            assert info["steps"] == 2
+
+    def test_fixture_generator_reproduces_committed_bytes(self):
+        """The checked-in binary fixture must match its generator
+        script exactly — anyone can regenerate and diff."""
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "make_champsim_fixture",
+            FIXTURES / "make_champsim_fixture.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        regenerated = gzip.compress(b"".join(module.stream()), mtime=0)
+        assert regenerated == FIXTURE_FOR["champsim"].read_bytes()
+
+
 class TestImportRegistryIntegration:
     def _name(self, fmt="eio"):
         return f"import:{fmt}:{FIXTURE_FOR[fmt]}"
@@ -558,7 +695,7 @@ class TestImporterCLI:
         from repro.cli import main
         assert main(["trace", "formats"]) == 0
         out = capsys.readouterr().out
-        assert "eio" in out and "gem5" in out
+        assert "eio" in out and "gem5" in out and "champsim" in out
 
     def test_import_command_end_to_end(self, tmp_path, capsys):
         from repro.cli import main
