@@ -24,7 +24,11 @@ that no single runtime test can pin globally:
 * **no swallowed exceptions** — broad handlers whose body is only
   ``pass``/``continue`` hide real failures
   (:class:`~repro.analysis.exceptions.SwallowedExceptionRule`,
-  ``EXC001``).
+  ``EXC001``);
+* **injectable waits** — fleet-coordination sleeps in ``runner/`` go
+  through :func:`repro.faults.sleep` so chaos plans and the recorded
+  backoff schedule stay deterministic
+  (:class:`~repro.analysis.fault_rules.RunnerSleepRule`, ``FLT001``).
 
 ``repro lint [PATHS]`` runs every registered rule over the tree and is
 wired into CI as a hard gate (see ``docs/static-analysis.md`` for the
@@ -49,6 +53,7 @@ from repro.analysis import (  # noqa: E402,F401
     cachekey,
     determinism,
     exceptions,
+    fault_rules,
     strictjson,
     telemetry_rules,
 )

@@ -1,0 +1,95 @@
+"""FLT001 — runner waits route through the injectable sleep.
+
+The robustness layer (``src/repro/faults/``) exists to make every
+fleet failure mode *reproducible*: chaos plans inject crashes, latency
+and I/O faults at named points, and the retry schedule is a pure
+function of the attempt number.  A raw ``time.sleep`` in ``runner/``
+code — a poll loop, a hand-rolled retry — is invisible to that
+machinery: it cannot be stretched, crashed, or observed by a fault
+plan, and ad-hoc retry timing drifts away from the recorded backoff
+schedule the determinism tests pin.
+
+The rule is lexical: any call to ``time.sleep`` (dotted, aliased as
+``_time.sleep``, or imported bare) inside a ``repro/runner/`` module is
+a finding — wait through :func:`repro.faults.sleep` (the sanctioned
+primitive, itself an injection point) or through the queue's recorded
+backoff records instead.  Code outside ``runner/`` is out of scope:
+the CLI's ``status --watch`` redraw loop, for example, is interactive
+pacing, not fleet coordination.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: modules whose sleeps must be injectable (the fleet-coordination path)
+RUNNER_PART = "runner"
+
+#: module spellings whose ``.sleep`` attribute is the banned wait
+TIME_MODULES = frozenset({"time", "_time"})
+
+
+def _is_time_sleep(node: ast.Call, bare_sleep_is_time: bool) -> str:
+    """The offending call spelling, or ``""`` when the call is fine."""
+    name = dotted_name(node.func)
+    if name is None:
+        return ""
+    parts = name.split(".")
+    if parts[-1] != "sleep":
+        return ""
+    if len(parts) == 1:
+        return name if bare_sleep_is_time else ""
+    # faults.sleep / repro.faults.sleep is the sanctioned primitive
+    return name if parts[-2] in TIME_MODULES else ""
+
+
+def _imports_bare_sleep(tree: ast.AST) -> bool:
+    """Whether ``from time import sleep`` (possibly aliased to
+    ``sleep``) is in scope anywhere in the module."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.module not in TIME_MODULES:
+            continue
+        for alias in node.names:
+            if (alias.asname or alias.name) == "sleep":
+                return True
+    return False
+
+
+@register
+class RunnerSleepRule(Rule):
+    id = "FLT001"
+    title = "runner waits go through the injectable faults.sleep"
+    contract = (
+        "fleet coordination waits (poll loops, retries) in runner/ "
+        "must be injectable and deterministic: call repro.faults.sleep "
+        "— a fault-plan injection point — instead of time.sleep, and "
+        "route retry pacing through the recorded backoff records "
+        "(FileQueue.record_failure), never ad-hoc timing")
+
+    def applies(self, module: ModuleSource) -> bool:
+        return RUNNER_PART in module.parts
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        bare = _imports_bare_sleep(module.tree)
+        for node, parents in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = _is_time_sleep(node, bare)
+            if not name:
+                continue
+            yield module.finding(
+                self.id, node,
+                f"{name}() in a runner/ module — waits here must be "
+                "injectable and deterministic; call repro.faults.sleep "
+                "(a fault-plan injection point) instead")

@@ -47,9 +47,10 @@ import json
 import math
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro import __version__, telemetry
+from repro import __version__, faults, telemetry
 from repro.config import (
     CacheAddressing,
     SchemeName,
@@ -356,6 +357,13 @@ def _run_worker(args: argparse.Namespace) -> int:
     if args.lease <= 0 or args.poll <= 0:
         print("error: --lease and --poll must be > 0", file=sys.stderr)
         return 2
+    try:
+        retry = faults.RetryPolicy(max_attempts=args.max_attempts,
+                                   base_seconds=args.retry_base,
+                                   cap_seconds=args.retry_cap)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # under --json the progress narration moves to stderr so stdout
     # carries exactly one parseable object
     stats = run_worker(
@@ -365,6 +373,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         lease_seconds=args.lease,
         poll_seconds=args.poll,
         idle_exit=args.idle_exit,
+        retry=retry,
         log=(lambda line: print(line, file=sys.stderr)) if args.json
         else print,
     )
@@ -429,6 +438,71 @@ def _run_status(args: argparse.Namespace) -> int:
             _time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0  # ^C is how a watch ends — not an error
+
+
+def _run_queue(args: argparse.Namespace) -> int:
+    from repro.runner import FileQueue
+
+    root = Path(args.queue_dir)
+    # like status: never create the directory being operated on — a
+    # typo'd path must fail, not conjure a plausible empty queue
+    if not root.is_dir():
+        print(f"error: no such queue directory: {root}", file=sys.stderr)
+        return 2
+    queue = FileQueue(root)
+
+    if args.queue_command == "inspect":
+        jobs = []
+        for path in queue.dead():
+            key = path.name[:-len(".json")]
+            record = queue.read_error_record(key) or {}
+            try:
+                size = path.stat().st_size
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue  # retried from under us mid-scan
+            tb = str(record.get("traceback", "")).strip()
+            jobs.append({
+                "key": key,
+                "bytes": size,
+                "recoverable": queue.recover_payload(key, text)
+                is not None,
+                "error_class": record.get("class"),
+                "attempts": record.get("attempts"),
+                "kind": record.get("kind"),
+                "last_line": tb.splitlines()[-1] if tb else "?",
+            })
+        if args.json:
+            print(to_json({"queue": str(root), "dead": jobs}))
+        else:
+            if not jobs:
+                print(f"no dead-lettered jobs in {root}")
+            for job in jobs:
+                state = ("recoverable" if job["recoverable"]
+                         else "UNRECOVERABLE")
+                attempts = (f", {job['attempts']} attempt(s)"
+                            if job["attempts"] else "")
+                print(f"{job['key'][:16]}  {state}{attempts}: "
+                      f"{job['last_line']}")
+        return 0
+
+    # retry
+    keys = args.keys
+    if args.all:
+        keys = [path.name[:-len(".json")] for path in queue.dead()]
+    elif not keys:
+        print("error: give job KEYs or --all", file=sys.stderr)
+        return 2
+    failed = 0
+    for key in keys:
+        if queue.retry_dead(key):
+            print(f"requeued {key[:16]}")
+        else:
+            failed += 1
+            print(f"UNRECOVERABLE {key[:16]} (no such dead job, or its "
+                  f"payload no longer parses) — left in dead/",
+                  file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _run_bench(args: argparse.Namespace,
@@ -548,6 +622,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="append events as JSON lines to FILE "
                              "instead of stderr (implies --log-level "
                              "info unless one is given)")
+    parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="inject faults from a deterministic fault "
+                             "plan (testing/chaos only; exported as "
+                             "$REPRO_FAULTS so pool/queue subprocess "
+                             "workers inherit it — see "
+                             "docs/robustness.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -696,10 +776,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                           metavar="SECONDS",
                           help="exit after this long with nothing to do "
                                "(default: wait forever)")
+    p_worker.add_argument("--max-attempts", type=int,
+                          default=faults.DEFAULT_MAX_ATTEMPTS,
+                          metavar="N",
+                          help="attempts a transiently failing job gets "
+                               "before it dead-letters (default: "
+                               f"{faults.DEFAULT_MAX_ATTEMPTS})")
+    p_worker.add_argument("--retry-base", type=float,
+                          default=faults.DEFAULT_RETRY_BASE_SECONDS,
+                          metavar="SECONDS",
+                          help="first retry backoff; doubles per attempt "
+                               "(deterministic, no jitter; default: "
+                               f"{faults.DEFAULT_RETRY_BASE_SECONDS:g})")
+    p_worker.add_argument("--retry-cap", type=float,
+                          default=faults.DEFAULT_RETRY_CAP_SECONDS,
+                          metavar="SECONDS",
+                          help="backoff ceiling (default: "
+                               f"{faults.DEFAULT_RETRY_CAP_SECONDS:g})")
     p_worker.add_argument("--json", action="store_true",
                           help="print the end-of-run summary (claimed/"
-                               "executed/cached/failed/reclaimed/"
-                               "seconds) as one JSON object on stdout")
+                               "executed/cached/failed/retried/"
+                               "reclaimed/seconds) as one JSON object "
+                               "on stdout")
 
     p_status = sub.add_parser(
         "status",
@@ -732,6 +830,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "Prometheus-style textfile (atomic "
                                "rename; point a node-exporter textfile "
                                "collector at it)")
+
+    p_queue = sub.add_parser(
+        "queue",
+        help="operate on a queue's dead-letter directory (jobs that "
+             "exhausted their retries or arrived corrupted)")
+    queue_sub = p_queue.add_subparsers(dest="queue_command",
+                                       required=True)
+    q_inspect = queue_sub.add_parser(
+        "inspect",
+        help="list dead-lettered jobs with their failure records")
+    q_inspect.add_argument("queue_dir",
+                           help="the queue directory (never created: a "
+                                "typo'd path fails loudly)")
+    q_inspect.add_argument("--json", action="store_true",
+                           help="print the listing as one JSON object")
+    q_retry = queue_sub.add_parser(
+        "retry",
+        help="re-enqueue dead-lettered jobs (clears their failure "
+             "records; unrecoverable payloads are reported and left "
+             "in dead/)")
+    q_retry.add_argument("queue_dir",
+                         help="the queue directory (never created)")
+    q_retry.add_argument("keys", nargs="*", metavar="KEY",
+                         help="job keys to retry (default: with --all, "
+                              "every dead job)")
+    q_retry.add_argument("--all", action="store_true",
+                         help="retry every dead-lettered job")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clean a result-store cache directory")
@@ -824,6 +949,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.log_level is not None or args.log_json is not None:
         telemetry.configure(level=args.log_level,
                             json_path=args.log_json)
+    try:
+        faults.configure_from_env()
+    except (ReproError, ValueError) as exc:
+        parser.error(f"$REPRO_FAULTS: {exc}")
+    if args.faults is not None:
+        try:
+            # exported as inline JSON in $REPRO_FAULTS, so pool/queue
+            # subprocess workers inherit the plan like the log settings
+            faults.configure(faults.FaultPlan.load(args.faults))
+        except ReproError as exc:
+            parser.error(f"--faults: {exc}")
 
     if getattr(args, "workers", 1) < 0:
         parser.error("--workers must be >= 0 (0 = auto-detect)")
@@ -884,6 +1020,8 @@ def _dispatch(args: argparse.Namespace,
         return _run_worker(args)
     if args.command == "status":
         return _run_status(args)
+    if args.command == "queue":
+        return _run_queue(args)
     if args.command == "cache":
         return _run_cache(args)
     if args.command == "bench":

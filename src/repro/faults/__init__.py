@@ -1,0 +1,62 @@
+"""Deterministic fault injection and the self-healing retry machinery.
+
+Two halves, both jitter-free by construction:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`, the
+  :func:`fire` injection points threaded through every durability seam, and
+  the ``REPRO_FAULTS`` environment propagation that carries a plan into pool
+  and queue subprocess workers.  With no plan configured :func:`fire` is a
+  ``None`` check — the fault layer is off-path by construction.
+* :mod:`repro.faults.retry` — the transient/permanent error taxonomy and
+  the capped exponential backoff schedule (a pure function of the attempt
+  number) that the file-queue workers record in per-job attempt files.
+
+See ``docs/robustness.md`` for the fault model, the plan JSON schema, and
+the chaos-harness guide.
+"""
+
+from repro.faults.plan import (
+    ENV_FAULTS,
+    FAULT_KINDS,
+    TRIGGERS,
+    FaultPlan,
+    FaultSpec,
+    active,
+    configure,
+    configure_from_env,
+    disable,
+    fire,
+    sleep,
+)
+from repro.faults.retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_RETRY_BASE_SECONDS,
+    DEFAULT_RETRY_CAP_SECONDS,
+    TRANSIENT_EXCEPTIONS,
+    RetryPolicy,
+    backoff_delay,
+    classify_exception,
+    classify_traceback,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "TRIGGERS",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "configure",
+    "configure_from_env",
+    "disable",
+    "fire",
+    "sleep",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_RETRY_BASE_SECONDS",
+    "DEFAULT_RETRY_CAP_SECONDS",
+    "TRANSIENT_EXCEPTIONS",
+    "RetryPolicy",
+    "backoff_delay",
+    "classify_exception",
+    "classify_traceback",
+]

@@ -2,36 +2,57 @@
 
 The queue is a directory (any filesystem all participants can see —
 local disk for multi-process, NFS-style shares for multi-machine) with
-four subdirectories::
+five subdirectories::
 
     <queue>/jobs/<key>.json            pending job (the JobSpec payload)
     <queue>/claims/<key>.<owner>.json  leased job (owner heartbeats mtime)
-    <queue>/errors/<key>.json          failed job (full traceback)
+    <queue>/errors/<key>.json          attempt record / final failure
+    <queue>/dead/<key>.json            dead-lettered job (see below)
     <queue>/store/                     shared ResultStore of finished runs
 
 Coordination uses nothing but atomic renames, so it works on any POSIX
 filesystem with no server, no locks, and no partial states:
 
-* **submit** writes ``jobs/<key>.json`` atomically (temp + rename); the
-  filename is the spec's content-address, so duplicate submissions of
-  the same job collapse to one file.
+* **submit** writes ``jobs/<key>.json`` atomically (temp + fsync +
+  rename); the filename is the spec's content-address, so duplicate
+  submissions of the same job collapse to one file.  The payload is
+  *sealed*: it carries its own length + sha256, so a torn or bit-rotted
+  file is detected before it is ever parsed as a job.
 * **claim** renames ``jobs/<key>.json`` to
   ``claims/<key>.<owner>.json``.  Rename either succeeds or raises —
-  two workers racing for one job get exactly one winner.
+  two workers racing for one job get exactly one winner.  A job whose
+  file fails its self-checksum is quarantined to ``dead/`` (with a
+  ``queue.bad_file`` event) and the scan continues: one poisoned file
+  never stalls the fleet.
 * **lease/heartbeat**: while executing, the owner touches its claim
   file's mtime every ``lease/4`` seconds.  A claim whose mtime is older
   than the lease belongs to a dead worker (SIGKILL, power loss) and any
   worker may **reclaim** it — again by rename, back into ``jobs/``.
 * **complete**: the result goes into the shared store (first writer
   wins — see ``ResultStore.put(..., overwrite=False)``), the claim file
-  is removed.  Failures write ``errors/<key>.json`` instead; submitters
-  surface them as that job's ``JobResult.error``.
+  is removed.
+* **fail**: failures are classified (see :mod:`repro.faults.retry`) —
+  *transient* ones (I/O errors, torn trace reads) are retried with a
+  recorded, jitter-free exponential backoff: the attempt count and the
+  next-eligible time live in ``errors/<key>.json`` and workers skip
+  jobs whose backoff has not elapsed.  *Permanent* ones (the job itself
+  is wrong), and transient ones that exhaust their attempts, move the
+  claim to ``dead/`` — the dead-letter directory — and the attempt
+  record is marked final; only final records surface as a job's
+  ``JobResult.error``.  ``repro queue inspect|retry`` examines and
+  re-enqueues dead jobs.
 
 A worker that dies *after* putting the result but *before* releasing
 its claim costs nothing: the reclaimed job's store probe hits and the
 job is released without re-simulation — every job completes exactly
 once in the store.  Clock skew between machines must stay well under
 the lease for stale-claim detection to be meaningful.
+
+Every durability seam here is a :func:`repro.faults.fire` injection
+point (``queue.submit``, ``queue.claim``, ``queue.reclaim``,
+``worker.execute``, ``worker.heartbeat``); ``tests/test_faults.py``
+drives real fleets through scripted crash/corruption plans against
+these exact code paths.  See ``docs/robustness.md``.
 
 :class:`FileQueueBackend` is the submit side (plugs into
 :class:`~repro.runner.sweep.SweepRunner`); :func:`run_worker` is the
@@ -41,6 +62,7 @@ drain side (the long-running ``repro worker <queue-dir>`` command).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import re
@@ -53,8 +75,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Union
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.errors import ConfigError
+from repro.faults.retry import RetryPolicy, classify_traceback
 from repro.runner.backends.base import (
     ExecutionBackend,
     Outcome,
@@ -69,8 +92,9 @@ from repro.runner.store import ResultStore, atomic_write_text
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runner.sweep import SweepRunner, SweepStats
 
-#: job-file schema version; workers refuse payloads from the future
-QUEUE_FORMAT = 1
+#: job-file schema version; workers refuse payloads from the future.
+#: Format 2 sealed the payload with length + sha256 self-checksums.
+QUEUE_FORMAT = 2
 
 #: default lease: a worker silent this long is presumed dead
 DEFAULT_LEASE_SECONDS = 60.0
@@ -86,6 +110,53 @@ def _owner_id() -> str:
     return f"{host or 'host'}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
 
 
+def _canonical_body(payload: dict) -> str:
+    """The byte sequence the self-checksum covers: the payload without
+    its seal fields, serialized canonically (sorted keys, no spaces) so
+    sealing and verification can never disagree about whitespace."""
+    body = {k: v for k, v in payload.items()
+            if k not in ("length", "sha256")}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def seal_payload(payload: dict) -> str:
+    """Serialize a job payload with length + sha256 self-checksums, so
+    readers can tell a torn or corrupted file from a job."""
+    body = _canonical_body(payload)
+    sealed = dict(payload)
+    sealed["length"] = len(body)
+    sealed["sha256"] = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return json.dumps(sealed, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def verify_payload(text: str) -> dict:
+    """Parse and checksum-verify a sealed job file; raises
+    :class:`ConfigError` on anything torn, truncated, or altered.  The
+    seal fields are stripped from the returned payload."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ConfigError(
+            f"job file is not valid JSON (torn write?): {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError("job file is not a JSON object")
+    expected_sha = data.get("sha256")
+    expected_len = data.get("length")
+    if expected_sha is None and expected_len is None:
+        # unsealed (pre-format-2) file: let the format gate in
+        # _parse_claim name the problem precisely
+        return data
+    body = _canonical_body(data)
+    if (expected_len != len(body)
+            or expected_sha != hashlib.sha256(
+                body.encode("utf-8")).hexdigest()):
+        raise ConfigError(
+            "job file failed its self-checksum (torn or corrupted write)")
+    return {k: v for k, v in data.items() if k not in ("length", "sha256")}
+
+
 @dataclass
 class Claim:
     """A leased job: the exclusive right to execute one spec."""
@@ -93,7 +164,7 @@ class Claim:
     queue: "FileQueue"
     key: str
     path: Path  #: claims/<key>.<owner>.json (mtime is the heartbeat)
-    payload: Optional[dict]  #: the job file's content (None: unreadable)
+    payload: Optional[dict]  #: the verified job payload (seal stripped)
     #: set the moment the claim is released/requeued; from then on
     #: :meth:`heartbeat` is a guaranteed no-op.  Without this guard a
     #: straggling heartbeat could touch a *reclaimed* job file's path
@@ -105,6 +176,7 @@ class Claim:
     def heartbeat(self) -> None:
         if self.released:
             return
+        faults.fire("worker.heartbeat", key=self.key)
         try:
             os.utime(self.path)
         except OSError:
@@ -132,6 +204,7 @@ class FileQueue:
 
     JOBS, CLAIMS, ERRORS, STORE = "jobs", "claims", "errors", "store"
     WORKERS = "workers"  #: per-worker heartbeat records (observability)
+    DEAD = "dead"  #: dead-letter directory (exhausted/poisoned jobs)
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -140,25 +213,29 @@ class FileQueue:
         self.errors_dir = self.root / self.ERRORS
         self.store_dir = self.root / self.STORE
         self.workers_dir = self.root / self.WORKERS
+        self.dead_dir = self.root / self.DEAD
         for directory in (self.jobs_dir, self.claims_dir,
                           self.errors_dir, self.store_dir,
-                          self.workers_dir):
+                          self.workers_dir, self.dead_dir):
             directory.mkdir(parents=True, exist_ok=True)
 
     # -- submit side ---------------------------------------------------
 
     def submit(self, spec: JobSpec) -> bool:
         """Enqueue ``spec`` unless it is already pending or claimed.
-        A stale error file for the same key is cleared first, so
-        re-submitting a previously failed job retries it."""
+        A stale error file (and any dead-lettered copy) for the same
+        key is cleared first, so re-submitting a previously failed job
+        retries it from a clean slate."""
         key = spec.key
-        self.clear_error(key)
+        self._clear_final_error(key)
         if (self.jobs_dir / f"{key}.json").exists() or self.claims(key):
             return False
+        faults.fire("queue.submit", key=key, workload=spec.workload)
+        self._clear_dead(key)
         payload = {"format": QUEUE_FORMAT, "key": key,
                    "spec": spec.to_dict()}
         atomic_write_text(self.jobs_dir / f"{key}.json",
-                          json.dumps(payload))
+                          seal_payload(payload))
         return True
 
     def submit_grid(self, grid: GridSpec) -> bool:
@@ -168,28 +245,87 @@ class FileQueue:
         cleared so a failed grid retries."""
         key = grid.key
         for member in grid.members:
-            self.clear_error(member.key)
+            self._clear_final_error(member.key)
+        self._clear_final_error(key)
         if (self.jobs_dir / f"{key}.json").exists() or self.claims(key):
             return False
+        faults.fire("queue.submit", key=key, workload=grid.workload)
+        self._clear_dead(key)
         payload = {"format": QUEUE_FORMAT, "key": key, "kind": "grid",
                    "spec": grid.to_dict()}
         atomic_write_text(self.jobs_dir / f"{key}.json",
-                          json.dumps(payload))
+                          seal_payload(payload))
         return True
 
+    # -- failure records -----------------------------------------------
+
     def read_error(self, key: str) -> Optional[str]:
-        """The recorded failure for ``key``, or None."""
+        """The recorded *final* failure for ``key``, or None.  Attempt
+        records whose retries are still pending (``final: false``) do
+        not surface — to a submitter the job is simply not done yet.
+        Records without a ``final`` field (pre-retry releases, direct
+        :meth:`write_error` callers) are final."""
+        record = self.read_error_record(key)
+        if record is None or not record.get("final", True):
+            return None
+        return str(record.get("traceback", "unknown queue failure"))
+
+    def read_error_record(self, key: str) -> Optional[dict]:
+        """The raw attempt/failure record for ``key``, or None."""
         try:
-            entry = json.loads((self.errors_dir / f"{key}.json")
-                               .read_text(encoding="utf-8"))
-            return str(entry.get("traceback", "unknown queue failure"))
+            record = json.loads((self.errors_dir / f"{key}.json")
+                                .read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
+        return record if isinstance(record, dict) else None
 
     def write_error(self, key: str, tb: str, owner: str = "") -> None:
+        """Record a final (non-retryable) failure for ``key``."""
         atomic_write_text(self.errors_dir / f"{key}.json",
                           json.dumps({"key": key, "owner": owner,
-                                      "traceback": tb}))
+                                      "traceback": tb, "final": True},
+                                     allow_nan=False))
+
+    def record_failure(self, key: str, tb: str, owner: str = "", *,
+                       policy: Optional[RetryPolicy] = None,
+                       force_final: bool = False) -> dict:
+        """Account one failed attempt for ``key`` and decide its fate.
+
+        The attempt count continues any existing record; the failure is
+        classified (:func:`~repro.faults.retry.classify_traceback`) and
+        the record becomes *final* when the error is permanent, the
+        policy's attempts are exhausted, or ``force_final`` is set.
+        Non-final records carry ``next_eligible_at`` — the wall-clock
+        time before which :meth:`claim_next` will not hand the job out
+        again — plus the full per-attempt history with each backoff
+        delay, which is a pure function of the attempt number (so two
+        identical runs record identical schedules).
+        """
+        policy = policy or RetryPolicy()
+        previous = self.read_error_record(key) or {}
+        try:
+            attempts = int(previous.get("attempts", 0)) + 1
+        except (TypeError, ValueError):
+            attempts = 1
+        classification = classify_traceback(tb)
+        final = (force_final or classification == "permanent"
+                 or attempts >= policy.max_attempts)
+        delay = 0.0 if final else policy.delay(attempts)
+        history = previous.get("history")
+        history = list(history) if isinstance(history, list) else []
+        history.append({"attempt": attempts, "owner": owner,
+                        "class": classification,
+                        "delay_seconds": round(delay, 6)})
+        record = {"key": key, "owner": owner, "traceback": tb,
+                  "class": classification, "attempts": attempts,
+                  "max_attempts": policy.max_attempts, "final": final,
+                  "history": history}
+        if not final:
+            # repro-lint: ok DET001  retry eligibility deadline, compared to wall clock at claim time
+            record["next_eligible_at"] = time.time() + delay
+        atomic_write_text(self.errors_dir / f"{key}.json",
+                          json.dumps(record, allow_nan=False))
+        return record
 
     def clear_error(self, key: str) -> None:
         try:
@@ -197,28 +333,157 @@ class FileQueue:
         except OSError:
             pass
 
+    def _clear_final_error(self, key: str) -> None:
+        """Clear a *final* failure record (re-submission retries the
+        job) while leaving live retry records alone — clobbering one
+        mid-flight would reset another worker's attempt accounting."""
+        record = self.read_error_record(key)
+        if record is not None and record.get("final", True):
+            self.clear_error(key)
+
+    # -- dead-letter side ----------------------------------------------
+
+    def dead(self) -> List[Path]:
+        """Every dead-lettered job file, sorted by key."""
+        return sorted(self.dead_dir.glob("*.json"))
+
+    def dead_letter(self, claim: Claim) -> Path:
+        """Move a claim's job file to ``dead/`` — terminal until an
+        operator re-enqueues it (``repro queue retry``) or the job is
+        re-submitted."""
+        claim.released = True
+        target = self.dead_dir / f"{claim.key}.json"
+        try:
+            os.rename(claim.path, target)
+        except OSError:
+            pass  # reclaimed from under us; the other owner decides
+        return target
+
+    def quarantine(self, key: str, path: Path, reason: str,
+                   owner: str = "") -> bool:
+        """Move an unparseable/torn file to ``dead/``, record a final
+        ``bad_file`` error under its key, and say so loudly."""
+        try:
+            os.rename(path, self.dead_dir / f"{key}.json")
+        except OSError:
+            return False  # someone else moved it first
+        atomic_write_text(self.errors_dir / f"{key}.json",
+                          json.dumps({"key": key, "owner": owner,
+                                      "traceback": reason, "final": True,
+                                      "kind": "bad_file"},
+                                     allow_nan=False))
+        telemetry.emit("queue.bad_file", level="error", key=key,
+                       reason=reason, queue=str(self.root))
+        return True
+
+    def retry_dead(self, key: str) -> bool:
+        """Re-enqueue a dead-lettered job: verify its payload still
+        seals (garbage must not become a job again), clear the failure
+        record, and rename it back into ``jobs/``.  Returns False when
+        there is no such dead job or its payload is unrecoverable."""
+        source = self.dead_dir / f"{key}.json"
+        try:
+            text = source.read_text(encoding="utf-8")
+        except OSError:
+            return False
+        payload = self.recover_payload(key, text)
+        if payload is None:
+            return False
+        self.clear_error(key)
+        target = self.jobs_dir / f"{key}.json"
+        try:
+            atomic_write_text(target, seal_payload(payload))
+            source.unlink()
+        except OSError:
+            return False
+        return True
+
+    @staticmethod
+    def recover_payload(key: str, text: str) -> Optional[dict]:
+        """A dead job's payload if it is still trustworthy: either the
+        seal verifies, or the body parses and its key matches the
+        filename (corruption confined to the seal envelope — e.g. a
+        bit-rotted checksum field — is repairable; a damaged body is
+        not)."""
+        try:
+            return verify_payload(text)
+        except ConfigError:
+            pass
+        try:
+            data = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(data, dict):
+            return None
+        body = {k: v for k, v in data.items()
+                if k not in ("length", "sha256")}
+        if body.get("key") != key or body.get("format") != QUEUE_FORMAT:
+            return None
+        return body
+
+    def _clear_dead(self, key: str) -> None:
+        try:
+            (self.dead_dir / f"{key}.json").unlink()
+        except OSError:
+            pass
+
     # -- worker side ---------------------------------------------------
 
     def claim_next(self, owner: str) -> Optional[Claim]:
-        """Claim one pending job by atomic rename, or None if the
-        ``jobs/`` directory is (or just became) empty."""
+        """Claim one pending job by atomic rename, or None if nothing
+        is claimable right now.
+
+        Jobs in their backoff window (a non-final attempt record whose
+        ``next_eligible_at`` has not passed) are skipped, not claimed.
+        A job file that cannot be read or fails its self-checksum is
+        quarantined to ``dead/`` and the scan *continues* — one
+        poisoned file must never stop every worker from claiming the
+        jobs behind it.
+        """
+        faults.fire("queue.claim", owner=owner)
+        # repro-lint: ok DET001  retry eligibility clock, compared to recorded deadlines
+        now = time.time()
         for job in sorted(self.jobs_dir.glob("*.json")):
             key = job.name[:-len(".json")]
+            if not self._eligible(key, now):
+                continue  # backing off; leave it queued
             target = self.claims_dir / f"{key}.{owner}.json"
             try:
                 os.rename(job, target)
             except OSError:
                 continue  # lost the race for this one; try the next
             try:
-                payload = json.loads(target.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                payload = None
+                text: Optional[str] = target.read_text(encoding="utf-8")
+            except OSError:
+                text = None
+            if text is None:
+                self.quarantine(key, target,
+                                "job file vanished or was unreadable "
+                                "after claim", owner)
+                continue
+            try:
+                payload = verify_payload(text)
+            except ConfigError as exc:
+                self.quarantine(key, target, str(exc), owner)
+                continue
             return Claim(queue=self, key=key, path=target, payload=payload)
         return None
+
+    def _eligible(self, key: str, now: float) -> bool:
+        """Whether ``key`` may be claimed at wall-clock ``now`` — False
+        only inside the backoff window of a live (non-final) retry."""
+        record = self.read_error_record(key)
+        if record is None or record.get("final", True):
+            return True
+        eligible_at = record.get("next_eligible_at")
+        if not isinstance(eligible_at, (int, float)):
+            return True
+        return now >= eligible_at
 
     def reclaim_stale(self, lease_seconds: float) -> int:
         """Requeue every claim whose heartbeat stopped more than
         ``lease_seconds`` ago; returns how many were reclaimed."""
+        faults.fire("queue.reclaim", queue=str(self.root))
         now = time.time()  # repro-lint: ok DET001  lease staleness clock, compared to file mtimes
         reclaimed = 0
         for claim in sorted(self.claims_dir.glob("*.json")):
@@ -446,7 +711,7 @@ class FileQueueBackend(ExecutionBackend):
                     outcome_for[key] = (None, message)
                 pending.clear()
                 return
-            time.sleep(self.poll_seconds)
+            faults.sleep(self.poll_seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -461,14 +726,16 @@ class WorkerStats:
     claimed: int = 0
     executed: int = 0  #: simulated here and stored
     cached: int = 0  #: claim released because the store already answered
-    failed: int = 0  #: error file written
+    failed: int = 0  #: final failure (dead-lettered or bad job file)
+    retried: int = 0  #: transient failure requeued with backoff
     reclaimed: int = 0  #: stale claims handed back to the queue
     owner: str = ""  #: this worker's fleet identity
     seconds: float = 0.0  #: wall clock of the whole invocation
 
     def describe(self) -> str:
         return (f"{self.claimed} claimed: {self.executed} executed, "
-                f"{self.cached} already in store, {self.failed} failed; "
+                f"{self.cached} already in store, {self.failed} failed, "
+                f"{self.retried} retried; "
                 f"{self.reclaimed} stale claim(s) reclaimed")
 
     def to_dict(self) -> dict:
@@ -481,6 +748,7 @@ def run_worker(root: Union[str, Path], *,
                lease_seconds: float = DEFAULT_LEASE_SECONDS,
                poll_seconds: float = DEFAULT_POLL_SECONDS,
                idle_exit: Optional[float] = None,
+               retry: Optional[RetryPolicy] = None,
                log: Optional[Callable[[str], None]] = None) -> WorkerStats:
     """Drain jobs from a queue directory until told to stop.
 
@@ -490,6 +758,10 @@ def run_worker(root: Union[str, Path], *,
       fleet outlive one sweep but not linger forever).
     * ``max_jobs=N`` — exit after claiming N jobs.
     * default — run until interrupted (the long-lived fleet member).
+
+    ``retry`` is this worker's :class:`~repro.faults.retry.RetryPolicy`
+    — how many attempts a transiently failing job gets and how its
+    backoff grows before it dead-letters (defaults apply when None).
 
     Ctrl-C requeues the in-flight job (no lease wait for the others)
     and re-raises.  Returns this worker's :class:`WorkerStats`.
@@ -504,6 +776,7 @@ def run_worker(root: Union[str, Path], *,
     queue = FileQueue(root)
     store = ResultStore(queue.store_dir)
     owner = _owner_id()
+    retry = retry or RetryPolicy()
     stats = WorkerStats(owner=owner)
     emit = log or (lambda line: None)
     record = WorkerRecord(queue, owner, lease_seconds=lease_seconds,
@@ -537,7 +810,7 @@ def run_worker(root: Union[str, Path], *,
                         and now - idle_since >= idle_exit):
                     break
                 record.touch()  # still alive, just idle
-                time.sleep(poll_seconds)
+                faults.sleep(poll_seconds)
                 continue
             idle_since = None
             stats.claimed += 1
@@ -545,7 +818,7 @@ def run_worker(root: Union[str, Path], *,
             telemetry.emit("worker.claim", owner=owner, key=claim.key)
             try:
                 _process_claim(queue, store, claim, owner, lease_seconds,
-                               stats, emit, record)
+                               stats, emit, record, retry=retry)
             except KeyboardInterrupt:
                 claim.requeue()
                 emit(f"interrupted; requeued {claim.key[:16]}")
@@ -586,26 +859,63 @@ def _parse_claim(claim: Claim) -> Union[JobSpec, GridSpec]:
     return spec
 
 
+def _fail_claim(queue: FileQueue, claim: Claim, error: str, owner: str,
+                stats: WorkerStats, emit: Callable[[str], None],
+                retry: RetryPolicy, *, workload: Optional[str] = None,
+                force_final: bool = False) -> dict:
+    """The shared failure path: account the attempt, then either
+    requeue with backoff (transient, attempts left) or dead-letter
+    (permanent / exhausted).  Returns the written attempt record."""
+    record = queue.record_failure(claim.key, error, owner, policy=retry,
+                                  force_final=force_final)
+    last_line = error.strip().splitlines()[-1] if error.strip() else "?"
+    if record["final"]:
+        queue.dead_letter(claim)
+        stats.failed += 1
+        emit(f"FAILED {claim.key[:16]} "
+             f"(attempt {record['attempts']}/{retry.max_attempts}, "
+             f"{record['class']}) -> dead-lettered: {last_line}")
+        telemetry.emit("worker.dead_letter", level="error", owner=owner,
+                       key=claim.key, workload=workload,
+                       error_class=record["class"],
+                       attempts=record["attempts"])
+    else:
+        delay = record["history"][-1]["delay_seconds"]
+        claim.requeue()
+        stats.retried += 1
+        emit(f"RETRY  {claim.key[:16]} "
+             f"(attempt {record['attempts']}/{retry.max_attempts}, "
+             f"{record['class']}; backing off {delay:g}s): {last_line}")
+        telemetry.emit("worker.retry", level="error", owner=owner,
+                       key=claim.key, workload=workload,
+                       error_class=record["class"],
+                       attempts=record["attempts"],
+                       delay_seconds=delay)
+    return record
+
+
 def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
                    owner: str, lease_seconds: float, stats: WorkerStats,
                    emit: Callable[[str], None],
-                   record: Optional[WorkerRecord] = None) -> None:
+                   record: Optional[WorkerRecord] = None, *,
+                   retry: Optional[RetryPolicy] = None) -> None:
+    retry = retry or RetryPolicy()
     touch = record.touch if record is not None else None
     try:
         spec = _parse_claim(claim)
     except Exception:
-        # poisoned job file: record and drop it (requeueing would just
-        # bounce it between workers forever)
+        # poisoned job file: dead-letter it (requeueing would just
+        # bounce it between workers forever) with a final record
         queue.write_error(claim.key, traceback.format_exc(), owner)
-        claim.release()
+        queue.dead_letter(claim)
         stats.failed += 1
-        emit(f"bad job file {claim.key[:16]} -> error recorded")
+        emit(f"bad job file {claim.key[:16]} -> dead-lettered")
         telemetry.emit("worker.bad_job", level="error", owner=owner,
                        key=claim.key)
         return
     if isinstance(spec, GridSpec):
         _process_grid_claim(queue, store, claim, spec, owner,
-                            lease_seconds, stats, emit, touch)
+                            lease_seconds, stats, emit, touch, retry)
         return
     if store.get(spec) is not None:
         # answered while queued (reclaimed job whose first owner died
@@ -617,12 +927,26 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
                        workload=spec.workload)
         return
     emit(f"run    {claim.key[:16]} {spec.describe()}")
-    with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
-        run, error = execute_spec(spec)
+    try:
+        # an injected fault here is a job failure like any other —
+        # classified, retried or dead-lettered — not a worker crash
+        faults.fire("worker.execute", key=claim.key, owner=owner)
+    except Exception:
+        run, error = None, traceback.format_exc()
+    else:
+        with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
+            run, error = execute_spec(spec)
     if run is not None:
-        # overwrite=False: if our lease was reclaimed and the other
-        # worker beat us to the put, keep its (identical) entry
-        store.put(spec, run, overwrite=False)
+        try:
+            # overwrite=False: if our lease was reclaimed and the other
+            # worker beat us to the put, keep its (identical) entry
+            store.put(spec, run, overwrite=False)
+        except OSError:
+            # the simulation succeeded but the shared store did not take
+            # the result (ENOSPC, NFS hiccup, torn rename): a transient
+            # job failure, not a worker crash
+            run, error = None, traceback.format_exc()
+    if run is not None:
         queue.clear_error(spec.key)
         stats.executed += 1
         emit(f"done   {claim.key[:16]}")
@@ -631,24 +955,28 @@ def _process_claim(queue: FileQueue, store: ResultStore, claim: Claim,
                        workload=spec.workload,
                        seconds=(None if job is None
                                 else round(job.total_seconds, 6)))
+        claim.release()
     else:
-        queue.write_error(spec.key, error or "unknown failure", owner)
-        stats.failed += 1
-        emit(f"FAILED {claim.key[:16]}: "
-             f"{error.strip().splitlines()[-1] if error else '?'}")
+        _fail_claim(queue, claim, error or "unknown failure", owner,
+                    stats, emit, retry, workload=spec.workload)
         telemetry.emit("worker.error", level="error", owner=owner,
                        key=claim.key, workload=spec.workload)
-    claim.release()
 
 
 def _process_grid_claim(queue: FileQueue, store: ResultStore,
                         claim: Claim, grid: GridSpec, owner: str,
                         lease_seconds: float, stats: WorkerStats,
                         emit: Callable[[str], None],
-                        touch: Optional[Callable[[], None]]) -> None:
+                        touch: Optional[Callable[[], None]],
+                        retry: RetryPolicy) -> None:
     """Execute one claimed grid: one shared pass, each member stored
     under its own key (errors likewise per member, so the submitter's
-    per-member waiting protocol needs no grid awareness)."""
+    per-member waiting protocol needs no grid awareness).
+
+    Retry accounting lives under the *grid* key (the unit that is
+    claimed and backed off); member records mirror it so submitters see
+    a member's failure exactly when the grid as a whole gives up.
+    """
     if all(store.get(member) is not None for member in grid.members):
         claim.release()
         stats.cached += 1
@@ -658,31 +986,44 @@ def _process_grid_claim(queue: FileQueue, store: ResultStore,
                        grid_members=len(grid.members))
         return
     emit(f"run    {claim.key[:16]} {grid.describe()}")
-    with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
-        outcomes = execute_grid(grid)
-    failed = 0
+    try:
+        faults.fire("worker.execute", key=claim.key, owner=owner)
+    except Exception:
+        outcomes = [(None, traceback.format_exc())
+                    for _ in grid.members]
+    else:
+        with _Heartbeat(claim, interval=lease_seconds / 4, also=touch):
+            outcomes = execute_grid(grid)
+    failures = []
     seconds = None
     for member, (run, error) in zip(grid.members, outcomes):
         if run is not None:
-            # overwrite=False: first writer wins, identical entries
-            store.put(member, run, overwrite=False)
+            try:
+                # overwrite=False: first writer wins, identical entries
+                store.put(member, run, overwrite=False)
+            except OSError:
+                run, error = None, traceback.format_exc()
+        if run is not None:
             queue.clear_error(member.key)
             job = getattr(run, "job_metrics", None)
             if job is not None:
                 seconds = (seconds or 0.0) + job.total_seconds
         else:
-            queue.write_error(member.key, error or "unknown failure",
-                              owner)
-            failed += 1
-    if failed:
-        stats.failed += 1
-        first_error = next((e for _, e in outcomes if e), "?")
-        emit(f"FAILED {claim.key[:16]}: "
-             f"{first_error.strip().splitlines()[-1]}")
+            failures.append((member, error or "unknown failure"))
+    if failures:
+        grid_record = _fail_claim(queue, claim, failures[0][1], owner,
+                                  stats, emit, retry,
+                                  workload=grid.workload)
+        for member, error in failures:
+            # member records surface only once the grid is final
+            queue.record_failure(member.key, error, owner, policy=retry,
+                                 force_final=grid_record["final"])
         telemetry.emit("worker.error", level="error", owner=owner,
                        key=claim.key, workload=grid.workload,
-                       grid_members=len(grid.members))
+                       grid_members=len(grid.members),
+                       failed_members=len(failures))
     else:
+        queue.clear_error(grid.key)
         stats.executed += 1
         emit(f"done   {claim.key[:16]}")
         telemetry.emit("worker.done", owner=owner, key=claim.key,
@@ -690,4 +1031,4 @@ def _process_grid_claim(queue: FileQueue, store: ResultStore,
                        grid_members=len(grid.members),
                        seconds=(None if seconds is None
                                 else round(seconds, 6)))
-    claim.release()
+        claim.release()

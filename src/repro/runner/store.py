@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro import faults
 from repro.runner.jobspec import JobSpec
 from repro.sim.multi import CombinedRun
 from repro.telemetry.metrics import JobMetrics
@@ -51,15 +52,48 @@ def _reject_nonfinite(token: str) -> float:
     raise ValueError(f"non-finite JSON token {token!r} in store entry")
 
 
+def _fsync_enabled() -> bool:
+    """fsync-before-rename is on by default (crash durability: the rename
+    must never become visible before its data).  ``REPRO_FSYNC=0`` disables
+    it for test suites that churn thousands of tiny files."""
+    return os.environ.get("REPRO_FSYNC", "1") != "0"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory so the rename itself is durable;
+    not all filesystems support opening directories, hence best-effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        return
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename),
+    """Write ``text`` to ``path`` atomically (temp file + fsync + rename),
     removing the temp file on *any* failure — a Ctrl-C mid-write must
     not strand ``.tmp<pid>`` litter next to the target.  Shared by the
     store and the file-queue backend: readers on other processes (or
-    machines) see the old content or the new, never a torn write."""
+    machines) see the old content or the new, never a torn write.  The
+    temp file is fsynced before the rename (and the directory after,
+    best-effort) so a power loss cannot surface the new name with torn
+    or empty content; see :func:`_fsync_enabled` for the test escape
+    hatch."""
+    faults.fire("atomic_write", path=str(path))
     tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
     try:
-        tmp.write_text(text, encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if _fsync_enabled():
+                handle.flush()
+                os.fsync(handle.fileno())
+        faults.fire("atomic_write.rename", path=str(path), tmp=str(tmp),
+                    text=text)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -67,6 +101,8 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+    if _fsync_enabled():
+        _fsync_dir(path.parent)
 
 
 class ResultStore:
@@ -124,6 +160,7 @@ class ResultStore:
     def get(self, spec: JobSpec) -> Optional[CombinedRun]:
         """The cached result for ``spec``, or None (a miss)."""
         key = spec.key
+        faults.fire("store.get", key=key)
         cached = self._memory.get(key)
         if cached is None:
             cached = self._load(spec, key)
@@ -194,11 +231,13 @@ class ResultStore:
         ``.json.tmp<pid>`` litter in the cache directory.
         """
         key = spec.key
-        self._memory[key] = run
+        faults.fire("store.put", key=key, workload=spec.workload)
         path = self.path_for(spec)
         if path is None:
+            self._memory[key] = run
             return None
         if not overwrite and path.exists():
+            self._memory[key] = run
             return path
         serialize_started = time.perf_counter()
         entry = {
@@ -221,6 +260,11 @@ class ResultStore:
             entry["metrics"] = metrics.to_dict()
             text = json.dumps(entry, allow_nan=False)
         atomic_write_text(path, text)
+        # the memory layer is only updated once the disk write landed: a
+        # failed or torn write must stay a miss for this process, or a
+        # retrying queue worker would "hit" an entry no other process can
+        # read
+        self._memory[key] = run
         self.writes += 1
         return path
 

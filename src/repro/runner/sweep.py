@@ -41,7 +41,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     SweepInterrupted,
@@ -78,6 +78,7 @@ def _execute_payload(payload: dict) -> Tuple[bool, dict]:
     invisible to everything that doesn't look for it.
     """
     telemetry.configure_from_env()
+    faults.configure_from_env()
     if payload.get("kind") == "grid":
         # a whole grid crosses as one payload; the member outcomes ride
         # back under a "__grid__" key, each in the single-job wire shape
@@ -267,7 +268,12 @@ class SweepRunner:
             # keep what finished: a re-run answers those from the cache
             for spec, (run, error) in exc.completed:
                 if run is not None:
-                    self.store.put(spec, run)
+                    try:
+                        self.store.put(spec, run)
+                    except OSError:
+                        telemetry.emit("sweep.store_write_error",
+                                       level="error", key=spec.key,
+                                       traceback=traceback.format_exc())
                     stats.simulated += 1
                 else:
                     stats.failed += 1
@@ -282,7 +288,15 @@ class SweepRunner:
                 run, "job_metrics", None)
             if run is not None:
                 put_started = time.perf_counter()
-                self.store.put(spec, run)
+                try:
+                    self.store.put(spec, run)
+                except OSError:
+                    # the simulation finished; a failed cache write
+                    # (disk full, injected fault) must not lose it —
+                    # the result is returned, only persistence is lost
+                    telemetry.emit("sweep.store_write_error",
+                                   level="error", key=spec.key,
+                                   traceback=traceback.format_exc())
                 if metrics is not None:
                     # full put() wall clock, rename included (the copy
                     # persisted *inside* the entry can only time its

@@ -2,9 +2,10 @@
 
 ``repro status <queue-dir>`` reads the queue layout the file-queue
 backend maintains (``jobs/`` pending work, ``claims/`` leased work with
-heartbeat mtimes, ``errors/`` failures, ``store/`` finished results)
-plus the per-worker heartbeat records ``repro worker`` writes under
-``workers/`` — and renders them three ways:
+heartbeat mtimes, ``errors/`` attempt records and failures, ``dead/``
+dead-lettered jobs, ``store/`` finished results) plus the per-worker
+heartbeat records ``repro worker`` writes under ``workers/`` — and
+renders them three ways:
 
 * :func:`snapshot` — the plain-dict model everything else derives from
   (``--json`` prints it verbatim; scripts consume this);
@@ -79,6 +80,7 @@ def snapshot(root: Union[str, Path], *,
     errors_dir = root / FileQueue.ERRORS
     store_dir = root / FileQueue.STORE
     workers_dir = root / FileQueue.WORKERS
+    dead_dir = root / FileQueue.DEAD
 
     # -- pending jobs ---------------------------------------------------
     pending_ages = [age for job in jobs_dir.glob("*.json")
@@ -100,7 +102,11 @@ def snapshot(root: Union[str, Path], *,
         })
 
     # -- error tail -----------------------------------------------------
+    # errors/ holds both live retry records (final: false — a job in
+    # its backoff window) and final failures; count them apart so the
+    # dashboard distinguishes "healing" from "broken"
     error_paths = []
+    retrying = 0
     for path in errors_dir.glob("*.json"):
         try:
             error_paths.append((path.stat().st_mtime, path))
@@ -108,15 +114,25 @@ def snapshot(root: Union[str, Path], *,
             continue
     error_paths.sort(reverse=True)
     tail: List[dict] = []
-    for mtime, path in error_paths[:max(error_tail, 0)]:
+    for index, (mtime, path) in enumerate(error_paths):
         entry = _read_json(path) or {}
+        final = bool(entry.get("final", True))
+        if not final:
+            retrying += 1
+        if index >= max(error_tail, 0):
+            continue
         tb = str(entry.get("traceback", "")).strip()
         tail.append({
             "key": entry.get("key", path.name[:-len(".json")]),
             "owner": entry.get("owner", ""),
             "age_seconds": round(max(0.0, now - mtime), 3),
             "last_line": tb.splitlines()[-1] if tb else "?",
+            "final": final,
+            "attempts": entry.get("attempts"),
         })
+
+    # -- dead letters ---------------------------------------------------
+    dead = sum(1 for _ in dead_dir.glob("*.json"))
 
     # -- store (finished results) ---------------------------------------
     store_entries = 0
@@ -171,6 +187,8 @@ def snapshot(root: Union[str, Path], *,
         "stale_claims": sum(1 for c in claims if c["stale"]),
         "claims": claims,
         "errors": len(error_paths),
+        "retrying": retrying,
+        "dead": dead,
         "error_tail": tail,
         "store": {"entries": store_entries, "bytes": store_bytes},
         "workers_live": sum(1 for w in workers if w["live"]),
@@ -209,6 +227,9 @@ def render(snap: dict) -> str:
         + (f" ({snap['stale_claims']} STALE)" if snap["stale_claims"]
            else "")
         + f" | errors {snap['errors']}"
+        + (f" ({snap['retrying']} retrying)" if snap.get("retrying")
+           else "")
+        + (f" | DEAD {snap['dead']}" if snap.get("dead") else "")
         + f" | store {store['entries']} entr"
           f"{'y' if store['entries'] == 1 else 'ies'}"
           f" ({store['bytes']:,} bytes)",
@@ -258,13 +279,18 @@ _GAUGES = (
     ("repro_queue_stale_claims",
      "Leased jobs whose heartbeat exceeded the lease.", "stale_claims"),
     ("repro_queue_error_jobs", "Jobs with a recorded failure.", "errors"),
+    ("repro_queue_retrying_jobs",
+     "Jobs in a backoff window awaiting retry.", "retrying"),
+    ("repro_queue_dead_jobs", "Dead-lettered jobs awaiting an operator.",
+     "dead"),
     ("repro_workers_live", "Workers with a fresh heartbeat.",
      "workers_live"),
     ("repro_workers_known", "Workers that ever wrote a heartbeat.",
      "workers_known"),
 )
 
-_WORKER_COUNTERS = ("claimed", "executed", "cached", "failed", "reclaimed")
+_WORKER_COUNTERS = ("claimed", "executed", "cached", "failed", "retried",
+                    "reclaimed")
 
 
 def _label(value: str) -> str:

@@ -1206,6 +1206,8 @@ def load_trace(path: Union[str, Path], *, use_cache: bool = True,
     trace.  Results are bit-identical either way (the streaming
     equivalence suite pins this)."""
     from repro.telemetry import emit, note_decode
+    from repro.faults import fire
+    fire("trace.decode", path=str(path))
     if stream is None:
         stream = trace_window_bytes()
         if stream is None:

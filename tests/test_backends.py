@@ -41,7 +41,11 @@ from repro.runner import (
     resolve_workers,
     run_worker,
 )
-from repro.runner.backends.filequeue import QUEUE_FORMAT
+from repro.runner.backends.filequeue import (
+    QUEUE_FORMAT,
+    seal_payload,
+    verify_payload,
+)
 from repro.runner.sweep import _MapInterrupted, _execute_payload
 
 
@@ -606,6 +610,39 @@ class TestFileQueue:
         assert stats.executed == 0
 
     def test_tampered_job_file_recorded_as_error(self, tmp_path):
+        # a re-sealed payload whose key disagrees with its spec passes
+        # the checksum but fails _parse_claim's identity gate
+        root = tmp_path / "q"
+        queue = FileQueue(root)
+        spec = _spec()
+        queue.submit(spec)
+        job = queue.pending()[0]
+        payload = verify_payload(job.read_text())
+        payload["key"] = "0" * 64
+        job.write_text(seal_payload(payload))
+        stats = _drain(root)
+        assert stats.failed == 1
+        assert "does not match" in queue.read_error(spec.key)
+        assert queue.idle()  # poisoned jobs do not bounce forever
+        assert queue.dead()  # ... they dead-letter instead
+
+    def test_foreign_format_job_recorded_as_error(self, tmp_path):
+        root = tmp_path / "q"
+        queue = FileQueue(root)
+        spec = _spec()
+        queue.submit(spec)
+        job = queue.pending()[0]
+        payload = verify_payload(job.read_text())
+        payload["format"] = QUEUE_FORMAT + 1
+        job.write_text(seal_payload(payload))
+        stats = _drain(root)
+        assert stats.failed == 1
+        assert "format" in queue.read_error(spec.key)
+
+    def test_unsealed_checksum_tampering_is_quarantined(self, tmp_path):
+        # editing a sealed job file without re-sealing it is
+        # indistinguishable from bit rot: the self-checksum fails and
+        # claim_next quarantines the file instead of parsing it
         root = tmp_path / "q"
         queue = FileQueue(root)
         spec = _spec()
@@ -615,22 +652,10 @@ class TestFileQueue:
         payload["key"] = "0" * 64
         job.write_text(json.dumps(payload))
         stats = _drain(root)
-        assert stats.failed == 1
-        assert "does not match" in queue.read_error(spec.key)
-        assert queue.idle()  # poisoned jobs do not bounce forever
-
-    def test_foreign_format_job_recorded_as_error(self, tmp_path):
-        root = tmp_path / "q"
-        queue = FileQueue(root)
-        spec = _spec()
-        queue.submit(spec)
-        job = queue.pending()[0]
-        payload = json.loads(job.read_text())
-        payload["format"] = QUEUE_FORMAT + 1
-        job.write_text(json.dumps(payload))
-        stats = _drain(root)
-        assert stats.failed == 1
-        assert "format" in queue.read_error(spec.key)
+        assert stats.claimed == 0  # never became a claim
+        assert queue.idle()
+        assert [p.name for p in queue.dead()] == [f"{spec.key}.json"]
+        assert "self-checksum" in queue.read_error(spec.key)
 
     def test_submitter_timeout_fails_pending_jobs(self, tmp_path):
         backend = FileQueueBackend(tmp_path / "q", poll_seconds=0.02,

@@ -42,10 +42,10 @@ def _rules_hit(rel, text):
 
 
 class TestFramework:
-    def test_catalog_is_the_documented_six(self):
+    def test_catalog_is_the_documented_seven(self):
         assert [r.id for r in all_rules()] == [
-            "ATOM001", "DET001", "EXC001", "JSON001", "KEY001",
-            "TEL001"]
+            "ATOM001", "DET001", "EXC001", "FLT001", "JSON001",
+            "KEY001", "TEL001"]
         for rule in all_rules():
             assert rule.title and rule.contract
 
@@ -301,6 +301,46 @@ class TestHotLoopTelemetryRule:
         assert _findings("src/repro/cpu/fast.py", text, "TEL001") == []
 
 
+class TestRunnerSleepRule:
+    def test_time_sleep_in_runner_flagged(self):
+        text = ("import time\n"
+                "while pending:\n"
+                "    time.sleep(0.2)\n")
+        assert len(_findings("src/repro/runner/backends/q.py", text,
+                             "FLT001")) == 1
+
+    def test_bare_imported_sleep_flagged(self):
+        text = ("from time import sleep\n"
+                "sleep(1.0)\n")
+        assert len(_findings("src/repro/runner/loop.py", text,
+                             "FLT001")) == 1
+
+    def test_faults_sleep_is_the_sanctioned_wait(self):
+        text = ("from repro import faults\n"
+                "while pending:\n"
+                "    faults.sleep(0.2)\n")
+        assert _findings("src/repro/runner/backends/q.py", text,
+                         "FLT001") == []
+
+    def test_outside_runner_not_in_scope(self):
+        text = ("import time\n"
+                "time.sleep(2.0)\n")
+        assert _findings("src/repro/cli.py", text, "FLT001") == []
+
+    def test_unrelated_sleep_method_not_flagged(self):
+        # a bare sleep() with no `from time import sleep` in scope is
+        # someone else's sleep — near miss, not a finding
+        text = ("device.sleep(5)\n"
+                "sleep = object()\n"
+                "sleep()\n")
+        assert _findings("src/repro/runner/x.py", text, "FLT001") == []
+
+    def test_real_runner_tree_is_clean(self):
+        report = lint_paths([REPO_ROOT / "src/repro/runner"],
+                            [get_rule("FLT001")], root=REPO_ROOT)
+        assert report.findings == []
+
+
 class TestSwallowedExceptionRule:
     def test_broad_pass_flagged(self):
         text = ("try:\n    work()\n"
@@ -546,4 +586,5 @@ class TestShippedTree:
         in would surface as live findings above; this pins the count
         of sanctioned sites so new ones are a conscious decision."""
         report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
-        assert report.suppressed == 4  # filequeue's uuid4 + 3 clocks
+        # filequeue's uuid4 + 5 coordination clocks (leases, backoff)
+        assert report.suppressed == 6
